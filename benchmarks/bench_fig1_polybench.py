@@ -1,0 +1,45 @@
+"""Fig. 1 (1) bench: PolyBench vpfloat-vs-Boost speedups.
+
+Each case compiles and executes one kernel with both lowerings (best of
++/-Polly, as the paper measures) and asserts the vpfloat backend wins;
+the modeled speedup lands in extra_info.  Paper average: 1.80x.
+"""
+
+import pytest
+
+from repro.evaluation.fig1 import run_fig1_polybench
+from repro.evaluation.harness import geomean
+
+#: Representative spread: compute-bound, memory-bound, stencil, solver.
+BENCH_KERNELS = ("gemm", "atax", "jacobi-1d", "ludcmp")
+
+
+@pytest.mark.parametrize("kernel", BENCH_KERNELS)
+def test_fig1_kernel(benchmark, kernel):
+    points = benchmark.pedantic(
+        run_fig1_polybench,
+        kwargs={"kernels": (kernel,), "dataset": "mini",
+                "precisions": (128,)},
+        rounds=1, iterations=1,
+    )
+    point = points[0]
+    assert point.speedup > 1.0, \
+        f"{kernel}: vpfloat should beat Boost, got {point.speedup:.2f}x"
+    benchmark.extra_info["speedup_vs_boost"] = round(point.speedup, 2)
+
+
+def test_fig1_suite_average(benchmark, paper_scale):
+    """A small multi-kernel average, checked against the paper's regime.
+    Pass --paper-scale to run the full 'small' dataset with Polly."""
+    points = benchmark.pedantic(
+        run_fig1_polybench,
+        kwargs={"kernels": BENCH_KERNELS,
+                "dataset": "small" if paper_scale else "mini",
+                "precisions": (128, 512),
+                "with_polly": bool(paper_scale)},
+        rounds=1, iterations=1,
+    )
+    average = geomean([p.speedup for p in points])
+    assert 1.2 < average < 4.0  # paper: 1.80x
+    benchmark.extra_info["average_speedup"] = round(average, 2)
+    benchmark.extra_info["paper"] = 1.80

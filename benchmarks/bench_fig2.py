@@ -1,0 +1,50 @@
+"""Fig. 2 bench: UNUM coprocessor vs MPFR software at high precision.
+
+Paper: 18.03x (-O3) / 27.58x (-O3+Polly) average at 150 digits;
+gemm/2mm/3mm exceed 20x; five kernel/Polly combinations hit the
+coprocessor memory erratum and are reported as failures.
+"""
+
+import pytest
+
+from repro.evaluation.fig2 import run_fig2
+from repro.evaluation.harness import geomean
+
+
+@pytest.mark.parametrize("kernel", ["gemm", "trisolv"])
+def test_fig2_kernel(benchmark, kernel):
+    points = benchmark.pedantic(
+        run_fig2, kwargs={"kernels": (kernel,), "dataset": "mini"},
+        rounds=1, iterations=1,
+    )
+    measured = [p for p in points if p.speedup]
+    assert measured
+    for p in measured:
+        assert p.speedup > 2.0
+    benchmark.extra_info["speedups"] = {
+        ("polly" if p.polly else "o3"): round(p.speedup, 2)
+        for p in measured
+    }
+
+
+def test_fig2_gemm_exceeds_20x(benchmark):
+    """The paper's specific claim for the matmul family."""
+    points = benchmark.pedantic(
+        run_fig2, kwargs={"kernels": ("gemm",), "dataset": "mini"},
+        rounds=1, iterations=1,
+    )
+    best = max(p.speedup for p in points if p.speedup)
+    assert best > 15.0  # paper: > 20x
+    benchmark.extra_info["gemm_best"] = round(best, 2)
+
+
+def test_fig2_erratum_reported(benchmark):
+    points = benchmark.pedantic(
+        run_fig2, kwargs={"kernels": ("gesummv", "adi"),
+                          "dataset": "mini"},
+        rounds=1, iterations=1,
+    )
+    assert all(p.hw_failure for p in points)
+    benchmark.extra_info["failures"] = [
+        f"{p.kernel}/{'polly' if p.polly else 'o3'}" for p in points
+    ]

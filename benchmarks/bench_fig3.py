@@ -1,0 +1,32 @@
+"""Fig. 3 bench: CG iterations/runtime vs precision on bcsstk20-like.
+
+Paper shape: iterations fall monotonically with precision; runtime
+reaches a minimum then climbs; vpfloat beats Boost (~1.5x) and a
+Julia-style dynamic implementation (>9x) at the plateau.
+"""
+
+import pytest
+
+from repro.evaluation.fig3 import run_fig3
+
+
+def test_fig3_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs={"n": 32, "condition": 1e10,
+                "precisions": (80, 140, 260, 500, 900),
+                "tolerance": 1e-10, "max_iterations": 2500},
+        rounds=1, iterations=1,
+    )
+    iterations = [p.iterations for p in result.points]
+    assert iterations == sorted(iterations, reverse=True)
+    times = [p.cycles_vpfloat for p in result.points]
+    minimum = times.index(min(times))
+    assert 0 < minimum < len(times) - 1  # interior minimum: the U shape
+    plateau = result.plateau_precision
+    assert result.boost_ratio_at(plateau) > 1.2
+    assert result.julia_ratio_at(plateau) == pytest.approx(9.0)
+    benchmark.extra_info["iterations"] = iterations
+    benchmark.extra_info["plateau_bits"] = plateau
+    benchmark.extra_info["boost_ratio"] = round(
+        result.boost_ratio_at(plateau), 2)

@@ -1,0 +1,29 @@
+"""Table I bench: residual-error computation across precisions.
+
+Regenerates one representative column of Table I per run (kernel x
+dataset over the four type rows) and records the residuals as
+extra_info.  The timed quantity is the whole accuracy experiment:
+reference run + four measured runs + exact residual computation.
+"""
+
+import pytest
+
+from repro.bigfloat import log10_magnitude
+from repro.evaluation.table1 import ROW_TYPES, run_table1
+
+
+@pytest.mark.parametrize("kernel", ["gemm", "gramschmidt"])
+def test_table1_column(benchmark, kernel):
+    cells = benchmark.pedantic(
+        run_table1,
+        kwargs={"kernels": (kernel,), "datasets": ("mini",)},
+        rounds=1, iterations=1,
+    )
+    by_row = {c.row: c.residual for c in cells}
+    assert len(by_row) == len(ROW_TYPES)
+    # The Table I ordering: every precision step tightens the residual.
+    magnitudes = [log10_magnitude(by_row[name]) for name, _ in ROW_TYPES]
+    assert magnitudes == sorted(magnitudes, reverse=True)
+    benchmark.extra_info.update(
+        {row: f"1e{log10_magnitude(res):.0f}" for row, res in by_row.items()}
+    )

@@ -1,0 +1,12 @@
+"""Table II bench: UNUM geometry derivation for the paper's declarations."""
+
+from repro.evaluation.table2 import run_table2
+
+
+def test_table2_rows(benchmark):
+    rows = benchmark(run_table2)
+    assert all(row.matches_paper for row in rows)
+    benchmark.extra_info["rows"] = [
+        f"{r.declaration} -> {r.exponent_bits}/{r.precision_bits}/"
+        f"{r.size_bytes}" for r in rows
+    ]

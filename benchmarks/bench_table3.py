@@ -1,0 +1,9 @@
+"""Table III bench: literal encoding of 1.3 across vpfloat types."""
+
+from repro.evaluation.table3 import run_table3
+
+
+def test_table3_encodings(benchmark):
+    rows = benchmark(run_table3)
+    assert sum(1 for r in rows if r.matches_paper) >= 2
+    benchmark.extra_info["encodings"] = [r.encoded for r in rows]

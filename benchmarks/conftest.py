@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates a table or figure of the paper at reduced size
+(the full-size drivers live in ``python -m repro.evaluation ...``).
+``pytest benchmarks/ --benchmark-only`` runs them all; each records the
+modeled speedups as extra_info alongside the wall-clock timing of the
+simulation itself.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="run benches at the evaluation drivers' full scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")

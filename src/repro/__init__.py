@@ -1,0 +1,46 @@
+"""Reproduction of "Seamless Compiler Integration of Variable Precision
+Floating-Point Arithmetic" (CGO 2021).
+
+Subpackages (see DESIGN.md for the full inventory):
+
+- :mod:`repro.bigfloat` -- correctly-rounded arbitrary-precision FP (the
+  MPFR stand-in) and the C-style MPFR object API;
+- :mod:`repro.unum` -- UNUM type-I codec and the coprocessor model;
+- :mod:`repro.lang` -- the C dialect with ``vpfloat<...>`` types;
+- :mod:`repro.ir` -- SSA IR with first-class vpfloat types;
+- :mod:`repro.codegen` -- AST -> IR;
+- :mod:`repro.passes` -- the -O3 pipeline + Polly-lite;
+- :mod:`repro.backends` -- MPFR lowering, Boost baseline, UNUM ISA;
+- :mod:`repro.runtime` -- interpreter, memory, cost model, UNUM machine;
+- :mod:`repro.blas` / :mod:`repro.solvers` -- variable-precision BLAS and
+  the conjugate-gradient study;
+- :mod:`repro.workloads` -- PolyBench / RAJAPerf kernels in the dialect;
+- :mod:`repro.evaluation` -- drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import compile_source
+
+    program = compile_source(C_SOURCE, backend="mpfr")
+    result = program.run("kernel", [64])
+    print(result.value, result.report.cycles)
+"""
+
+from .core import (
+    BACKENDS,
+    CompileOptions,
+    CompiledProgram,
+    CompilerDriver,
+    compile_source,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerDriver",
+    "CompiledProgram",
+    "CompileOptions",
+    "compile_source",
+    "BACKENDS",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Backend code generators: MPFR lowering, Boost baseline, UNUM ISA."""
+
+from .boost_lowering import BoostLoweringPass
+from .mpfr_lowering import MPFR_PTR, MPFR_STRUCT, MPFRLoweringPass, is_mpfr_vpfloat
+
+__all__ = [
+    "MPFRLoweringPass",
+    "BoostLoweringPass",
+    "MPFR_STRUCT",
+    "MPFR_PTR",
+    "is_mpfr_vpfloat",
+]

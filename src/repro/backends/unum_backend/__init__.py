@@ -1,0 +1,52 @@
+"""UNUM ISA backend: address computation, isel, FP config, regalloc.
+
+The full pipeline (:func:`compile_to_unum`) mirrors paper §III-C2:
+
+1. :class:`UnumAddressComputationPass` rewrites GEPs over dynamically-
+   sized unum elements into explicit ``__sizeof_vpfloat`` arithmetic;
+2. :func:`~repro.backends.unum_backend.isel.select_module` selects
+   RISC-V + UNUM instructions over virtual registers;
+3. :func:`~repro.backends.unum_backend.fpconfig.configure_module` inserts
+   ``sucfg`` ess/fss/WGP/MBB control writes across the CFG;
+4. :func:`~repro.backends.unum_backend.regalloc.allocate_module` runs
+   linear-scan allocation uniformly over x / f / g classes.
+"""
+
+from .addrcomp import UnumAddressComputationPass
+from .asm import (
+    AsmBlock,
+    AsmFunction,
+    AsmInst,
+    AsmModule,
+    Imm,
+    Label,
+    PReg,
+    StackSlot,
+    VReg,
+)
+from .fpconfig import FPConfigurationPass, configure_module
+from .isel import InstructionSelector, UnumISelError, select_module
+from .regalloc import LinearScanAllocator, RegAllocError, allocate_module
+
+
+def compile_to_unum(module) -> AsmModule:
+    """IR module -> allocated UNUM assembly (the whole backend)."""
+    addrcomp = UnumAddressComputationPass()
+    for func in list(module.functions.values()):
+        if not func.is_declaration:
+            addrcomp.run(func)
+    asm = select_module(module)
+    configure_module(asm)
+    allocate_module(asm)
+    return asm
+
+
+__all__ = [
+    "compile_to_unum",
+    "UnumAddressComputationPass",
+    "select_module", "InstructionSelector", "UnumISelError",
+    "configure_module", "FPConfigurationPass",
+    "allocate_module", "LinearScanAllocator", "RegAllocError",
+    "AsmModule", "AsmFunction", "AsmBlock", "AsmInst",
+    "VReg", "PReg", "Imm", "Label", "StackSlot",
+]

@@ -1,0 +1,120 @@
+"""Array address computation for dynamically-sized UNUM types.
+
+The paper's second UNUM backend pass (§III-C2): LLVM GEPs cannot scale by
+a runtime element size, so every ``GetElementPtr`` whose element type is a
+*dynamically-sized* vpfloat is replaced by explicit address arithmetic::
+
+    elem_size = __sizeof_vpfloat(ess, fss, size)   ; hoisted when loop-invariant
+    addr      = ptrtoint base + index * elem_size
+    ptr       = inttoptr addr
+
+This runs on IR before instruction selection; GVN/LICM have already run,
+and the emitted ``__sizeof_vpfloat`` call is placed in the entry block
+when its attributes are function arguments, so the multiply is the only
+per-access cost -- matching the hardware flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...ir import (
+    Argument,
+    BinaryInst,
+    CallInst,
+    CastInst,
+    Constant,
+    ConstantInt,
+    Function,
+    FunctionType,
+    GEPInst,
+    I32,
+    I64,
+    PointerType,
+    VPFloatType,
+)
+from ...passes.pass_manager import FunctionPass
+
+
+def _is_dynamic_unum_pointer(type) -> bool:
+    return (
+        isinstance(type, PointerType)
+        and isinstance(type.pointee, VPFloatType)
+        and type.pointee.format == "unum"
+        and not type.pointee.is_static
+    )
+
+
+class UnumAddressComputationPass(FunctionPass):
+    name = "unum-addrcomp"
+
+    def run(self, func: Function) -> int:
+        module = func.parent
+        changed = 0
+        size_cache: Dict[object, object] = {}
+        for block in list(func.blocks):
+            for inst in list(block.instructions):
+                if not isinstance(inst, GEPInst):
+                    continue
+                if not _is_dynamic_unum_pointer(inst.pointer.type):
+                    continue
+                if len(inst.indices) != 1:
+                    continue
+                vptype = inst.pointer.type.pointee
+                elem_size = self._element_size(func, module, vptype,
+                                               size_cache)
+                index = inst.indices[0]
+                position = inst
+
+                def insert(new, name=""):
+                    if name:
+                        new.name = func.unique_name(name)
+                    block.insert_before(position, new)
+                    return new
+
+                if index.type != I64 and not isinstance(index, ConstantInt):
+                    index = insert(CastInst("sext", index, I64), "idx64")
+                elif isinstance(index, ConstantInt) and index.type != I64:
+                    index = ConstantInt(I64, index.value)
+                base_int = insert(CastInst("ptrtoint", inst.pointer, I64),
+                                  "base")
+                offset = insert(BinaryInst("mul", index, elem_size), "offset")
+                addr = insert(BinaryInst("add", base_int, offset), "addr")
+                pointer = insert(CastInst("inttoptr", addr,
+                                          inst.pointer.type), "elem")
+                inst.replace_all_uses_with(pointer)
+                inst.erase_from_parent()
+                changed += 1
+        return changed
+
+    def _element_size(self, func, module, vptype: VPFloatType, cache):
+        key = (id(vptype.exp_attr), id(vptype.prec_attr),
+               id(vptype.size_attr))
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        callee = module.get_or_declare(
+            "__sizeof_vpfloat", FunctionType(I64, (I32, I32, I32)))
+        size = vptype.size_attr or ConstantInt(I32, 0)
+        call = CallInst(callee, [vptype.exp_attr, vptype.prec_attr, size])
+        call.name = func.unique_name("vpsize")
+        hoistable = all(
+            isinstance(a, (Constant, Argument))
+            for a in (vptype.exp_attr, vptype.prec_attr, size)
+        )
+        entry = func.entry
+        if hoistable:
+            call.parent = entry
+            # After existing allocas, before everything else.
+            index = 0
+            for i, existing in enumerate(entry.instructions):
+                if existing.opcode == "alloca":
+                    index = i + 1
+            entry.instructions.insert(index, call)
+            cache[key] = call
+        else:
+            # Conservative placement at first use site's block head.
+            call.parent = entry
+            entry.instructions.insert(0, call)
+            cache[key] = call
+        return call

@@ -1,0 +1,133 @@
+"""FP configuration pass: insert ``sucfg`` control-register writes.
+
+The paper's first UNUM backend pass (§III-C2): g-layer instructions need
+the coprocessor's ess/fss/WGP/MBB control registers to match the vpfloat
+type they operate on.  The pass tracks the configuration flowing through
+the CFG ("keeps track of values that come in and go out of basic blocks")
+and inserts ``sucfg.*`` writes only where a block's incoming state does
+not already match -- for single-type kernels that is one configuration in
+the entry block, hoisted out of every loop.
+
+Dynamic attributes (ess/fss/size held in scalar registers) use the
+``wgpu``/``sizeu`` pseudos to derive WGP and MBB at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .asm import AsmBlock, AsmFunction, AsmInst, Imm, PReg, VReg
+
+#: Opcode prefixes that consume the coprocessor configuration.
+_G_OPCODES_PREFIX = ("g", "ldu", "stu")
+
+_UNKNOWN = object()
+
+
+def _needs_config(inst: AsmInst) -> bool:
+    return inst.config is not None
+
+
+class FPConfigurationPass:
+    def __init__(self, func: AsmFunction):
+        self.func = func
+
+    def run(self) -> int:
+        # Fast path: one static configuration for the whole function ->
+        # configure once in the entry block (hoisted out of every loop).
+        configs = {inst.config for inst in self.func.instructions()
+                   if _needs_config(inst)}
+        if not configs:
+            return 0
+        if len(configs) == 1:
+            config = next(iter(configs))
+            arg_regs = {reg for reg, _cls in self.func.arg_registers}
+            hoistable = all(
+                isinstance(c, (int, str)) or c in arg_regs for c in config
+            )
+            if hoistable:
+                emitted = self._emit_config(config, None)
+                entry = self.func.blocks[0]
+                entry.instructions[0:0] = emitted
+                return len(emitted)
+        return self._per_block_sweep()
+
+    def _per_block_sweep(self) -> int:
+        label_index = {b.label: i for i, b in enumerate(self.func.blocks)}
+        exit_state: Dict[int, Tuple] = {}
+        entry_state: Dict[int, Tuple] = {}
+        preds: Dict[int, List[int]] = {i: [] for i in
+                                       range(len(self.func.blocks))}
+        for i, block in enumerate(self.func.blocks):
+            fallthrough = True
+            for inst in block.instructions:
+                if inst.opcode in ("j", "beq", "bne", "blt", "bge", "bltu",
+                                   "bgeu"):
+                    for op in inst.operands:
+                        if op.__class__.__name__ == "Label":
+                            target = op.name.lstrip(".")
+                            if target in label_index:
+                                preds[label_index[target]].append(i)
+                    if inst.opcode == "j":
+                        fallthrough = False
+                if inst.opcode in ("ret", "trap"):
+                    fallthrough = False
+            if fallthrough and i + 1 < len(self.func.blocks):
+                preds[i + 1].append(i)
+
+        inserted = 0
+        # Two fixpoint-free sweeps in layout order are enough because we
+        # treat any disagreement (or back edge from an unprocessed block)
+        # as unknown, forcing a re-configuration -- always safe.
+        states: Dict[int, Tuple] = {}
+        for i, block in enumerate(self.func.blocks):
+            incoming: Optional[Tuple] = _UNKNOWN
+            pred_states = [states.get(p, _UNKNOWN) for p in preds[i]]
+            if i == 0:
+                incoming = None  # nothing configured yet
+            elif pred_states and all(s == pred_states[0] for s in pred_states) \
+                    and pred_states[0] is not _UNKNOWN:
+                incoming = pred_states[0]
+            current = incoming
+            new_instructions: List[AsmInst] = []
+            for inst in block.instructions:
+                if _needs_config(inst):
+                    wanted = inst.config
+                    if current is _UNKNOWN or current != wanted:
+                        emitted = self._emit_config(wanted, current)
+                        inserted += len(emitted)
+                        new_instructions.extend(emitted)
+                        current = wanted
+                new_instructions.append(inst)
+            block.instructions = new_instructions
+            states[i] = current if current is not _UNKNOWN else _UNKNOWN
+        return inserted
+
+    def _emit_config(self, wanted: Tuple, current) -> List[AsmInst]:
+        ess, fss, wgp, mbb = wanted
+        old = current if isinstance(current, tuple) else (None,) * 4
+        out: List[AsmInst] = []
+
+        def op(v):
+            return Imm(v) if isinstance(v, int) else v
+
+        if ess != old[0]:
+            out.append(AsmInst("sucfg.ess", [op(ess)]))
+        if fss != old[1]:
+            out.append(AsmInst("sucfg.fss", [op(fss)]))
+        if wgp != old[2]:
+            if wgp == "dynamic":
+                # WGP derived from the fss register at runtime.
+                out.append(AsmInst("sucfg.wgpu", [op(fss), op(mbb)]))
+            else:
+                out.append(AsmInst("sucfg.wgp", [op(wgp)]))
+        if mbb != old[3] and mbb:
+            out.append(AsmInst("sucfg.mbb", [op(mbb)]))
+        return out
+
+
+def configure_module(asm_module) -> int:
+    total = 0
+    for func in asm_module.functions.values():
+        total += FPConfigurationPass(func).run()
+    return total

@@ -1,0 +1,282 @@
+"""Linear-scan register allocation over x / f / g register classes.
+
+The paper highlights that "the lower level register allocation and
+instruction selection operate on variable precision UNUM values the same
+way as on primitive IEEE data types" -- here the g-layer class goes
+through exactly the same allocator as the integer and double classes.
+
+Liveness is computed per block (use/def + iterative live-out), intervals
+are the usual [first-def, last-live] linearized ranges, and allocation is
+Poletto-Sarkar linear scan with furthest-end spilling.  Spilled vregs are
+rewritten load/store-around-use via reserved scratch registers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .asm import (
+    AsmFunction,
+    AsmInst,
+    F_SCRATCH,
+    G_SCRATCH,
+    Imm,
+    NUM_F,
+    NUM_G,
+    NUM_X,
+    PReg,
+    StackSlot,
+    VReg,
+    X_SCRATCH,
+)
+
+
+class RegAllocError(Exception):
+    pass
+
+
+_CLASS_INFO = {
+    "x": (NUM_X, set(X_SCRATCH)),
+    "f": (NUM_F, set(F_SCRATCH)),
+    "g": (NUM_G, set(G_SCRATCH)),
+}
+
+#: Bytes per spill slot, by class (g slots hold a full 68-byte UNUM).
+_SLOT_BYTES = {"x": 8, "f": 8, "g": 72}
+
+
+class LinearScanAllocator:
+    def __init__(self, func: AsmFunction):
+        self.func = func
+
+    # ------------------------------------------------------------ #
+
+    def run(self) -> AsmFunction:
+        intervals = self._intervals()
+        assignment, spills = self._allocate(intervals)
+        self._rewrite(assignment, spills)
+        return self.func
+
+    # ------------------------------------------------------------ #
+    # Liveness -> intervals
+    # ------------------------------------------------------------ #
+
+    def _positions(self) -> Dict[int, Tuple[int, int]]:
+        """(start, end) linear positions per block (by index)."""
+        positions = {}
+        counter = 0
+        for bi, block in enumerate(self.func.blocks):
+            start = counter
+            counter += max(1, len(block.instructions))
+            positions[bi] = (start, counter - 1)
+        return positions
+
+    def _intervals(self) -> Dict[VReg, Tuple[int, int]]:
+        blocks = self.func.blocks
+        label_to_index = {b.label: i for i, b in enumerate(blocks)}
+        successors: Dict[int, List[int]] = {}
+        for i, block in enumerate(blocks):
+            succ: List[int] = []
+            fallthrough = True
+            for inst in block.instructions:
+                if inst.opcode in ("j", "beq", "bne", "blt", "bge", "bltu",
+                                   "bgeu"):
+                    for op in inst.operands:
+                        if hasattr(op, "name") and op.__class__.__name__ \
+                                == "Label":
+                            target = op.name.lstrip(".")
+                            if target in label_to_index:
+                                succ.append(label_to_index[target])
+                    if inst.opcode == "j":
+                        fallthrough = False
+                if inst.opcode in ("ret", "trap"):
+                    fallthrough = False
+            if fallthrough and i + 1 < len(blocks):
+                succ.append(i + 1)
+            successors[i] = succ
+
+        use: Dict[int, Set[VReg]] = {}
+        defs: Dict[int, Set[VReg]] = {}
+        for i, block in enumerate(blocks):
+            u: Set[VReg] = set()
+            d: Set[VReg] = set()
+            for inst in block.instructions:
+                for reg in inst.uses():
+                    if isinstance(reg, VReg) and reg not in d:
+                        u.add(reg)
+                for reg in inst.defs():
+                    if isinstance(reg, VReg):
+                        d.add(reg)
+            use[i], defs[i] = u, d
+
+        live_in: Dict[int, Set[VReg]] = {i: set() for i in range(len(blocks))}
+        live_out: Dict[int, Set[VReg]] = {i: set() for i in range(len(blocks))}
+        changed = True
+        while changed:
+            changed = False
+            for i in reversed(range(len(blocks))):
+                out: Set[VReg] = set()
+                for s in successors[i]:
+                    out |= live_in[s]
+                inn = use[i] | (out - defs[i])
+                if out != live_out[i] or inn != live_in[i]:
+                    live_out[i], live_in[i] = out, inn
+                    changed = True
+
+        positions = self._positions()
+        intervals: Dict[VReg, List[int]] = {}
+
+        def touch(reg: VReg, pos: int) -> None:
+            entry = intervals.setdefault(reg, [pos, pos])
+            entry[0] = min(entry[0], pos)
+            entry[1] = max(entry[1], pos)
+
+        # Incoming arguments are live from position 0.
+        for reg, _cls in self.func.arg_registers:
+            if isinstance(reg, VReg):
+                touch(reg, 0)
+        for i, block in enumerate(blocks):
+            start, end = positions[i]
+            for reg in live_in[i]:
+                touch(reg, start)
+            for reg in live_out[i]:
+                touch(reg, end)
+            pos = start
+            for inst in block.instructions:
+                for reg in inst.uses():
+                    if isinstance(reg, VReg):
+                        touch(reg, pos)
+                for reg in inst.defs():
+                    if isinstance(reg, VReg):
+                        touch(reg, pos)
+                pos += 1
+        return {reg: (lo, hi) for reg, (lo, hi) in intervals.items()}
+
+    # ------------------------------------------------------------ #
+    # Linear scan
+    # ------------------------------------------------------------ #
+
+    def _allocate(self, intervals):
+        assignment: Dict[VReg, PReg] = {}
+        spills: Dict[VReg, StackSlot] = {}
+        by_class: Dict[str, List[Tuple[int, int, VReg]]] = {}
+        for reg, (start, end) in intervals.items():
+            by_class.setdefault(reg.cls, []).append((start, end, reg))
+
+        slot_cursor = self.func.frame_slots * 8
+
+        def new_slot(cls: str) -> StackSlot:
+            nonlocal slot_cursor
+            slot = StackSlot(slot_cursor, _SLOT_BYTES[cls])
+            slot_cursor += _SLOT_BYTES[cls]
+            return slot
+
+        for cls, items in by_class.items():
+            capacity, scratch = _CLASS_INFO[cls]
+            free = [i for i in range(capacity) if i not in scratch]
+            items.sort(key=lambda it: (it[0], it[1], it[2].index))
+            active: List[Tuple[int, VReg]] = []  # (end, vreg)
+            for start, end, reg in items:
+                active = [(e, r) for e, r in active if e >= start]
+                in_use = {assignment[r].index for _, r in active
+                          if r in assignment}
+                available = [i for i in free if i not in in_use]
+                if available:
+                    assignment[reg] = PReg(cls, available[0])
+                    active.append((end, reg))
+                    continue
+                # Spill the active interval that ends last.
+                active.sort(key=lambda it: (it[0], it[1].index))
+                victim_end, victim = active[-1]
+                if victim_end > end:
+                    spills[victim] = new_slot(cls)
+                    assignment[reg] = assignment.pop(victim)
+                    active[-1] = (end, reg)
+                else:
+                    spills[reg] = new_slot(cls)
+        self.func.frame_slots = (slot_cursor + 7) // 8
+        return assignment, spills
+
+    # ------------------------------------------------------------ #
+    # Rewriting
+    # ------------------------------------------------------------ #
+
+    _SPILL_LOAD = {"x": "ldspill", "f": "fldspill", "g": "gldspill"}
+    _SPILL_STORE = {"x": "sdspill", "f": "fsdspill", "g": "gsdspill"}
+
+    def _rewrite(self, assignment, spills) -> None:
+        for block in self.func.blocks:
+            rewritten: List[AsmInst] = []
+            for inst in block.instructions:
+                scratch_cursor = {"x": 0, "f": 0, "g": 0}
+                reloads: List[AsmInst] = []
+                stores: List[AsmInst] = []
+                use_map: Dict[VReg, PReg] = {}
+
+                def physical(reg, is_def: bool):
+                    if not isinstance(reg, VReg):
+                        return reg
+                    if reg in assignment:
+                        return assignment[reg]
+                    slot = spills[reg]
+                    if not is_def and reg in use_map:
+                        return use_map[reg]
+                    pool = {"x": X_SCRATCH, "f": F_SCRATCH,
+                            "g": G_SCRATCH}[reg.cls]
+                    index = scratch_cursor[reg.cls]
+                    if index >= len(pool):
+                        raise RegAllocError(
+                            f"out of {reg.cls} scratch registers"
+                        )
+                    scratch = PReg(reg.cls, pool[index])
+                    scratch_cursor[reg.cls] += 1
+                    if is_def:
+                        stores.append(AsmInst(
+                            self._SPILL_STORE[reg.cls], [scratch, slot]))
+                    else:
+                        reloads.append(AsmInst(
+                            self._SPILL_LOAD[reg.cls], [scratch, slot]))
+                        use_map[reg] = scratch
+                    return scratch
+
+                new_operands = []
+                def_set = set(id(d) for d in inst.defs())
+                for i, op in enumerate(inst.operands):
+                    is_def = (i == 0 and id(op) in def_set)
+                    new_operands.append(physical(op, is_def))
+                if inst.config:
+                    inst.config = tuple(
+                        physical(c, False) if isinstance(c, VReg) else c
+                        for c in inst.config
+                    )
+                inst.operands = new_operands
+                rewritten.extend(reloads)
+                rewritten.append(inst)
+                rewritten.extend(stores)
+            block.instructions = rewritten
+        # Arg registers become physical.
+        self.func.arg_registers = [
+            (assignment.get(reg, reg), cls)
+            for reg, cls in self.func.arg_registers
+        ]
+        # Spilled argument registers need a store at function entry.
+        entry = self.func.blocks[0] if self.func.blocks else None
+        if entry is not None:
+            prologue = []
+            for i, (reg, cls) in enumerate(self.func.arg_registers):
+                if isinstance(reg, VReg) and reg in spills:
+                    pool = {"x": X_SCRATCH, "f": F_SCRATCH,
+                            "g": G_SCRATCH}[cls]
+                    scratch = PReg(cls, pool[0])
+                    prologue.append(AsmInst("argmv", [scratch, Imm(i)]))
+                    prologue.append(AsmInst(self._SPILL_STORE[cls],
+                                            [scratch, spills[reg]]))
+                    # None: the machine must not pre-write this argument;
+                    # the argmv pseudo fetches it at execution time.
+                    self.func.arg_registers[i] = (None, cls)
+            entry.instructions[0:0] = prologue
+
+
+def allocate_module(asm_module) -> None:
+    for func in asm_module.functions.values():
+        LinearScanAllocator(func).run()

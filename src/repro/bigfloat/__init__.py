@@ -1,0 +1,59 @@
+"""Arbitrary-precision correctly-rounded binary floating point.
+
+This package is the repository's stand-in for GNU MPFR (DESIGN.md §2):
+
+- :class:`BigFloat` — immutable value type with per-value precision;
+- :mod:`repro.bigfloat.arith` — correctly-rounded +, −, ×, ÷, fma, sqrt;
+- :mod:`repro.bigfloat.functions` — exp, log, sin, cos, pow, constants;
+- :mod:`repro.bigfloat.convert` — decimal string I/O;
+- :class:`MpfrLibrary` — the C-style object API (init/set/op/clear) with
+  call and allocation statistics used by the performance model.
+"""
+
+from .arith import abs_, add, div, fma, fms, mul, neg, sqrt, sub
+from .convert import decimal_digits_for, from_str, log10_magnitude, to_str
+from .functions import const_log2, const_pi, cos, exp, log, log2, log10, pow, sin, tan
+from .mpfr_api import MpfrLibrary, MpfrStats, MpfrUseAfterClear, MpfrVar, limb_bytes
+from .number import DEFAULT_PRECISION, BigFloat, Kind
+from .rounding import RNDA, RNDD, RNDN, RNDU, RNDZ, RoundingMode, round_significand
+
+__all__ = [
+    "BigFloat",
+    "Kind",
+    "DEFAULT_PRECISION",
+    "RoundingMode",
+    "RNDN",
+    "RNDZ",
+    "RNDU",
+    "RNDD",
+    "RNDA",
+    "round_significand",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "fma",
+    "fms",
+    "sqrt",
+    "neg",
+    "abs_",
+    "exp",
+    "log",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "pow",
+    "const_pi",
+    "const_log2",
+    "from_str",
+    "to_str",
+    "decimal_digits_for",
+    "log10_magnitude",
+    "MpfrLibrary",
+    "MpfrVar",
+    "MpfrStats",
+    "MpfrUseAfterClear",
+    "limb_bytes",
+]

@@ -1,0 +1,199 @@
+"""Correctly-rounded arithmetic kernels for :class:`BigFloat`.
+
+Every kernel computes an exact (or sticky-tagged) integer intermediate and
+rounds exactly once via :func:`repro.bigfloat.rounding.round_significand`,
+so results are correctly rounded in the requested mode -- the property the
+paper relies on when it swaps MPFR precision for accuracy (Table I,
+Fig. 3).
+
+All kernels take an explicit result precision and rounding mode, mirroring
+the ``mpfr_op(dest, src1, src2, rnd)`` shape of the MPFR API where the
+destination carries the precision.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .number import BigFloat, Kind
+from .rounding import RNDN, RoundingMode, round_significand
+
+
+def _make(sign: int, mant: int, exp: int, prec: int, rm: RoundingMode,
+          sticky: bool = False) -> BigFloat:
+    mant, exp, _ = round_significand(sign, mant, exp, prec, rm, sticky)
+    return BigFloat(Kind.FINITE, sign, mant, exp, prec)
+
+
+def _signed_zero(rm: RoundingMode, prec: int) -> BigFloat:
+    """Exact cancellation yields +0, except -0 in round-toward-negative."""
+    sign = 1 if rm is RoundingMode.TOWARD_NEGATIVE else 0
+    return BigFloat.zero(prec, sign)
+
+
+def _exact_pair(x: BigFloat) -> Tuple[int, int]:
+    """Finite nonzero value as (signed integer significand, exponent)."""
+    m = x.mant if x.sign == 0 else -x.mant
+    return m, x.exp
+
+
+def add(a: BigFloat, b: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = a + b, correctly rounded to ``prec`` bits."""
+    if a.is_nan() or b.is_nan():
+        return BigFloat.nan(prec)
+    if a.is_inf() or b.is_inf():
+        if a.is_inf() and b.is_inf():
+            if a.sign != b.sign:
+                return BigFloat.nan(prec)
+            return BigFloat.inf(prec, a.sign)
+        src = a if a.is_inf() else b
+        return BigFloat.inf(prec, src.sign)
+    if a.is_zero() and b.is_zero():
+        if a.sign == b.sign:
+            return BigFloat.zero(prec, a.sign)
+        return _signed_zero(rm, prec)
+    if a.is_zero():
+        return b.round_to(prec, rm)
+    if b.is_zero():
+        return a.round_to(prec, rm)
+
+    ma, ea = _exact_pair(a)
+    mb, eb = _exact_pair(b)
+    e = min(ea, eb)
+    total = (ma << (ea - e)) + (mb << (eb - e))
+    if total == 0:
+        return _signed_zero(rm, prec)
+    sign = 1 if total < 0 else 0
+    return _make(sign, abs(total), e, prec, rm)
+
+
+def sub(a: BigFloat, b: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = a - b."""
+    return add(a, -b, prec, rm)
+
+
+def mul(a: BigFloat, b: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = a * b."""
+    if a.is_nan() or b.is_nan():
+        return BigFloat.nan(prec)
+    sign = a.sign ^ b.sign
+    if a.is_inf() or b.is_inf():
+        if a.is_zero() or b.is_zero():
+            return BigFloat.nan(prec)  # 0 * inf
+        return BigFloat.inf(prec, sign)
+    if a.is_zero() or b.is_zero():
+        return BigFloat.zero(prec, sign)
+    return _make(sign, a.mant * b.mant, a.exp + b.exp, prec, rm)
+
+
+def div(a: BigFloat, b: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = a / b; division by zero yields a signed infinity (MPFR)."""
+    if a.is_nan() or b.is_nan():
+        return BigFloat.nan(prec)
+    sign = a.sign ^ b.sign
+    if a.is_inf():
+        if b.is_inf():
+            return BigFloat.nan(prec)
+        return BigFloat.inf(prec, sign)
+    if b.is_inf():
+        return BigFloat.zero(prec, sign)
+    if b.is_zero():
+        if a.is_zero():
+            return BigFloat.nan(prec)
+        return BigFloat.inf(prec, sign)
+    if a.is_zero():
+        return BigFloat.zero(prec, sign)
+
+    # Shift the dividend so the quotient keeps prec + 2 guard bits, then
+    # use the remainder as the sticky flag.
+    shift = prec + 2 - (a.mant.bit_length() - b.mant.bit_length())
+    if shift < 0:
+        shift = 0
+    q, r = divmod(a.mant << shift, b.mant)
+    return _make(sign, q, a.exp - b.exp - shift, prec, rm, sticky=bool(r))
+
+
+def fma(a: BigFloat, b: BigFloat, c: BigFloat, prec: int,
+        rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = a * b + c with a single rounding (fused multiply-add)."""
+    if a.is_nan() or b.is_nan() or c.is_nan():
+        return BigFloat.nan(prec)
+    # Infinity handling: compute the product class first.
+    if a.is_inf() or b.is_inf():
+        if a.is_zero() or b.is_zero():
+            return BigFloat.nan(prec)
+        psign = a.sign ^ b.sign
+        if c.is_inf() and c.sign != psign:
+            return BigFloat.nan(prec)
+        return BigFloat.inf(prec, psign)
+    if c.is_inf():
+        return BigFloat.inf(prec, c.sign)
+    if a.is_zero() or b.is_zero():
+        if c.is_zero():
+            psign = a.sign ^ b.sign
+            if psign == c.sign:
+                return BigFloat.zero(prec, psign)
+            return _signed_zero(rm, prec)
+        return c.round_to(prec, rm)
+
+    ma, ea = _exact_pair(a)
+    mb, eb = _exact_pair(b)
+    prod_m = ma * mb
+    prod_e = ea + eb
+    if c.is_zero():
+        total_m, total_e = prod_m, prod_e
+    else:
+        mc, ec = _exact_pair(c)
+        e = min(prod_e, ec)
+        total_m = (prod_m << (prod_e - e)) + (mc << (ec - e))
+        total_e = e
+    if total_m == 0:
+        return _signed_zero(rm, prec)
+    sign = 1 if total_m < 0 else 0
+    return _make(sign, abs(total_m), total_e, prec, rm)
+
+
+def fms(a: BigFloat, b: BigFloat, c: BigFloat, prec: int,
+        rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = a * b - c with a single rounding."""
+    return fma(a, b, -c, prec, rm)
+
+
+def sqrt(a: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = sqrt(a); sqrt of a negative value is NaN, sqrt(-0) is -0."""
+    if a.is_nan():
+        return BigFloat.nan(prec)
+    if a.is_zero():
+        return BigFloat.zero(prec, a.sign)
+    if a.sign == 1:
+        return BigFloat.nan(prec)
+    if a.is_inf():
+        return BigFloat.inf(prec, 0)
+
+    # Scale the significand so the integer square root carries prec + 2
+    # bits; force an even scaled exponent.
+    target_bits = 2 * (prec + 2)
+    shift = max(0, target_bits - a.mant.bit_length())
+    if (a.exp - shift) & 1:
+        shift += 1
+    m = a.mant << shift
+    root = _isqrt(m)
+    sticky = root * root != m
+    return _make(0, root, (a.exp - shift) // 2, prec, rm, sticky=sticky)
+
+
+def _isqrt(n: int) -> int:
+    """Floor integer square root (math.isqrt wrapper kept for clarity)."""
+    import math
+
+    return math.isqrt(n)
+
+
+def neg(a: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = -a, rounded to ``prec`` bits."""
+    return (-a).round_to(prec, rm)
+
+
+def abs_(a: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """dest = |a|, rounded to ``prec`` bits."""
+    return abs(a).round_to(prec, rm)

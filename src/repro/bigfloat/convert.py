@@ -1,0 +1,122 @@
+"""Decimal string conversions for :class:`BigFloat`.
+
+Parsing goes through exact rational arithmetic (``"1.3"`` becomes 13/10)
+followed by a single correctly-rounded binary conversion, exactly like
+``mpfr_set_str``.  Formatting produces round-trippable scientific notation
+with a digit count derived from the binary precision.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .number import BigFloat, Kind
+from .rounding import RNDN, RoundingMode
+
+_DECIMAL_RE = re.compile(
+    r"""^\s*
+    (?P<sign>[+-])?
+    (?:
+        (?P<int>\d+)(?:\.(?P<frac>\d*))?
+        |
+        \.(?P<fraconly>\d+)
+    )
+    (?:[eE](?P<exp>[+-]?\d+))?
+    \s*$""",
+    re.VERBOSE,
+)
+
+
+def from_str(text: str, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
+    """Parse a decimal literal into a correctly-rounded BigFloat."""
+    stripped = text.strip().lower()
+    sign = 0
+    if stripped.startswith(("+", "-")):
+        if stripped[0] == "-":
+            sign = 1
+    body = stripped.lstrip("+-")
+    if body in ("inf", "infinity"):
+        return BigFloat.inf(prec, sign)
+    if body == "nan":
+        return BigFloat.nan(prec)
+
+    match = _DECIMAL_RE.match(text)
+    if not match:
+        raise ValueError(f"invalid decimal literal: {text!r}")
+    int_part = match.group("int") or ""
+    frac_part = match.group("frac") or match.group("fraconly") or ""
+    exp10 = int(match.group("exp") or 0)
+    digits = (int_part + frac_part) or "0"
+    numerator = int(digits)
+    if match.group("sign") == "-":
+        numerator = -numerator
+    exp10 -= len(frac_part)
+    if numerator == 0:
+        return BigFloat.zero(prec, 1 if match.group("sign") == "-" else 0)
+    if exp10 >= 0:
+        return BigFloat.from_fraction(numerator * 10**exp10, 1, prec, rm)
+    return BigFloat.from_fraction(numerator, 10 ** (-exp10), prec, rm)
+
+
+def decimal_digits_for(prec: int) -> int:
+    """Significant decimal digits that round-trip a ``prec``-bit value."""
+    return max(2, int(math.ceil(prec * math.log10(2))) + 1)
+
+
+def to_str(x: BigFloat, digits: int | None = None) -> str:
+    """Format in scientific notation with ``digits`` significant digits."""
+    if x.kind is Kind.NAN:
+        return "nan"
+    if x.kind is Kind.INF:
+        return "-inf" if x.sign else "inf"
+    if x.kind is Kind.ZERO:
+        return "-0.0" if x.sign else "0.0"
+    if digits is None:
+        digits = decimal_digits_for(x.prec)
+
+    # Estimate the decimal exponent from the binary one, then correct it.
+    bin_exp = x.exponent()  # value in [2**(e-1), 2**e)
+    dec_exp = int(math.floor((bin_exp - 1) * math.log10(2)))
+    mantissa_digits = _scaled_decimal(x.mant, x.exp, digits - 1 - dec_exp)
+    while len(str(mantissa_digits)) > digits:
+        dec_exp += 1
+        mantissa_digits = _scaled_decimal(x.mant, x.exp, digits - 1 - dec_exp)
+    while len(str(mantissa_digits)) < digits:
+        dec_exp -= 1
+        mantissa_digits = _scaled_decimal(x.mant, x.exp, digits - 1 - dec_exp)
+
+    text = str(mantissa_digits)
+    body = text[0] + "." + (text[1:] or "0")
+    sign = "-" if x.sign else ""
+    return f"{sign}{body}e{dec_exp:+03d}"
+
+
+def _scaled_decimal(mant: int, exp: int, p: int) -> int:
+    """round(mant * 2**exp * 10**p) computed exactly (ties away)."""
+    if exp >= 0:
+        n = mant << exp
+        if p >= 0:
+            return n * 10**p
+        q, r = divmod(n, 10**-p)
+        return q + (1 if 2 * r >= 10**-p else 0)
+    denom = 1 << (-exp)
+    if p >= 0:
+        num = mant * 10**p
+    else:
+        num = mant
+        denom *= 10**-p
+    q, r = divmod(num, denom)
+    return q + (1 if 2 * r >= denom else 0)
+
+
+def log10_magnitude(x: BigFloat) -> float:
+    """Approximate log10(|x|) without overflowing floats (for reporting)."""
+    if x.is_zero():
+        return -math.inf
+    if x.is_nan():
+        return math.nan
+    if x.is_inf():
+        return math.inf
+    frac = x.mant / (1 << (x.prec - 1))  # in [1, 2)
+    return (x.exponent() - 1) * math.log10(2) + math.log10(frac)

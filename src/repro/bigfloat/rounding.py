@@ -1,0 +1,128 @@
+"""Rounding modes and the core correctly-rounded normalization step.
+
+This module is the heart of the MPFR stand-in (see DESIGN.md): every
+arithmetic operation in :mod:`repro.bigfloat.arith` computes an *exact*
+intermediate result as an integer significand scaled by a power of two,
+optionally with a sticky flag for discarded low bits, and then calls
+:func:`round_significand` exactly once.  This mirrors how GNU MPFR
+guarantees correct rounding.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class RoundingMode(enum.Enum):
+    """IEEE-754 / MPFR rounding modes supported by the library."""
+
+    #: Round to nearest, ties to even (MPFR ``MPFR_RNDN``).
+    NEAREST_EVEN = "RNDN"
+    #: Round toward zero (``MPFR_RNDZ``).
+    TOWARD_ZERO = "RNDZ"
+    #: Round toward plus infinity (``MPFR_RNDU``).
+    TOWARD_POSITIVE = "RNDU"
+    #: Round toward minus infinity (``MPFR_RNDD``).
+    TOWARD_NEGATIVE = "RNDD"
+    #: Round to nearest, ties away from zero (``MPFR_RNDA`` tie behaviour).
+    NEAREST_AWAY = "RNDA"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoundingMode.{self.name}"
+
+
+#: Module-wide shorthand aliases.
+RNDN = RoundingMode.NEAREST_EVEN
+RNDZ = RoundingMode.TOWARD_ZERO
+RNDU = RoundingMode.TOWARD_POSITIVE
+RNDD = RoundingMode.TOWARD_NEGATIVE
+RNDA = RoundingMode.NEAREST_AWAY
+
+
+def _should_increment(
+    rm: RoundingMode, sign: int, q_odd: bool, low: int, half: int, sticky: bool
+) -> bool:
+    """Decide whether the truncated significand must be incremented.
+
+    ``low`` is the value of the discarded bits within the shift window,
+    ``half`` is the window midpoint (``1 << (shift - 1)``), and ``sticky``
+    records whether any nonzero bits were discarded *below* the window.
+    """
+    if low == 0 and not sticky:
+        return False  # exact: never adjust
+    if rm is RoundingMode.TOWARD_ZERO:
+        return False
+    if rm is RoundingMode.TOWARD_POSITIVE:
+        return sign == 0
+    if rm is RoundingMode.TOWARD_NEGATIVE:
+        return sign == 1
+    # Nearest modes.
+    if low > half:
+        return True
+    if low < half:
+        return False
+    # low == half exactly within the window.
+    if sticky:
+        return True  # strictly above the midpoint
+    if rm is RoundingMode.NEAREST_AWAY:
+        return True
+    return q_odd  # ties-to-even
+
+
+def round_significand(
+    sign: int,
+    mant: int,
+    exp: int,
+    prec: int,
+    rm: RoundingMode = RNDN,
+    sticky: bool = False,
+) -> Tuple[int, int, bool]:
+    """Round the exact value ``(-1)**sign * mant * 2**exp`` to ``prec`` bits.
+
+    ``mant`` must be a positive integer.  ``sticky`` indicates that the true
+    value lies strictly between ``mant * 2**exp`` and ``(mant + 1) * 2**exp``
+    (used by division, square root and conversions that cannot produce an
+    exact integer significand).
+
+    Returns ``(mant', exp', inexact)`` where ``mant'`` is normalized to
+    exactly ``prec`` bits (``2**(prec-1) <= mant' < 2**prec``) and the
+    rounded value is ``(-1)**sign * mant' * 2**exp'``.  ``inexact`` is True
+    when rounding changed the value (the MPFR ternary flag, as a boolean).
+    """
+    if mant <= 0:
+        raise ValueError("round_significand requires a positive significand")
+    if prec < 1:
+        raise ValueError(f"precision must be >= 1, got {prec}")
+
+    nbits = mant.bit_length()
+    if nbits <= prec:
+        # Value fits: widen to the canonical prec-bit normalization.
+        shift_up = prec - nbits
+        q = mant << shift_up
+        e = exp - shift_up
+        if sticky:
+            # All discarded weight is strictly below the ulp: only the
+            # directed modes (and never nearest, since it is below half
+            # of an ulp only when the window is empty -- here the window
+            # is conceptually infinite, sticky < half) can adjust.
+            if _should_increment(rm, sign, bool(q & 1), 0, 1, True):
+                q += 1
+                if q >> prec:
+                    q >>= 1
+                    e += 1
+            return q, e, True
+        return q, e, False
+
+    shift = nbits - prec
+    low = mant & ((1 << shift) - 1)
+    q = mant >> shift
+    e = exp + shift
+    half = 1 << (shift - 1)
+    inexact = bool(low) or sticky
+    if _should_increment(rm, sign, bool(q & 1), low, half, sticky):
+        q += 1
+        if q >> prec:  # carry rippled out: 100...0 pattern
+            q >>= 1
+            e += 1
+    return q, e, inexact

@@ -1,0 +1,20 @@
+"""Variable-precision BLAS (paper Listing 4)."""
+
+from .vblas import (
+    VBLAS_DIALECT_SOURCE,
+    BlasOps,
+    Vector,
+    vaxpy,
+    vcopy,
+    vdot,
+    vfrom,
+    vgemv,
+    vnorm2,
+    vscal,
+    vzero,
+)
+
+__all__ = [
+    "vaxpy", "vscal", "vdot", "vgemv", "vnorm2", "vcopy", "vzero",
+    "vfrom", "Vector", "BlasOps", "VBLAS_DIALECT_SOURCE",
+]

@@ -1,0 +1,135 @@
+"""``vpfloat-cc``: command-line driver for the vpfloat toolchain.
+
+Compile a dialect source file, inspect the IR or UNUM assembly, or run a
+function on the modeled machine::
+
+    vpfloat-cc kernel.c --emit-ir
+    vpfloat-cc kernel.c --backend unum --emit-asm
+    vpfloat-cc kernel.c --backend mpfr --run main --args 64 --report
+    vpfloat-cc kernel.c --polly --contract-fma --run run --args 16
+
+(equivalently ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .core import BACKENDS, CompilerDriver
+
+
+def _parse_run_args(raw: List[str]) -> List[object]:
+    values: List[object] = []
+    for token in raw:
+        try:
+            values.append(int(token, 0))
+            continue
+        except ValueError:
+            pass
+        try:
+            values.append(float(token))
+            continue
+        except ValueError:
+            pass
+        raise SystemExit(f"--args values must be numbers, got {token!r}")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vpfloat-cc",
+        description="Compiler driver for the vpfloat C dialect "
+                    "(CGO 2021 reproduction).",
+    )
+    parser.add_argument("source", help="input source file ('-' for stdin)")
+    parser.add_argument("--backend", choices=BACKENDS, default="mpfr")
+    parser.add_argument("-O", dest="opt_level", type=int, default=3,
+                        choices=(0, 1, 2, 3), help="optimization level")
+    parser.add_argument("--polly", action="store_true",
+                        help="enable Polly-lite loop nest tiling")
+    parser.add_argument("--polly-tile", type=int, default=16)
+    parser.add_argument("--contract-fma", action="store_true",
+                        help="fuse a*b+c into fma (FP_CONTRACT)")
+    parser.add_argument("--no-reuse", action="store_true",
+                        help="disable MPFR object reuse (ablation)")
+    parser.add_argument("--no-specialize", action="store_true",
+                        help="disable mpfr_*_d/_si specialization")
+    parser.add_argument("--no-in-place", action="store_true",
+                        help="disable in-place stores")
+    parser.add_argument("--emit-ir", action="store_true",
+                        help="print the final IR module")
+    parser.add_argument("--emit-asm", action="store_true",
+                        help="print UNUM assembly (backend=unum)")
+    parser.add_argument("--run", metavar="FUNC",
+                        help="execute FUNC after compiling")
+    parser.add_argument("--args", nargs="*", default=[],
+                        help="numeric arguments for --run")
+    parser.add_argument("--report", action="store_true",
+                        help="print the performance report after --run")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="model OpenMP regions at this thread count")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.source) as handle:
+            source = handle.read()
+
+    driver = CompilerDriver(
+        backend=args.backend,
+        opt_level=args.opt_level,
+        polly=args.polly,
+        polly_tile=args.polly_tile,
+        contract_fma=args.contract_fma,
+        reuse_objects=not args.no_reuse,
+        specialize_scalars=not args.no_specialize,
+        in_place_stores=not args.no_in_place,
+    )
+    try:
+        program = driver.compile(source, name=args.source)
+    except Exception as error:  # diagnostics carry positions already
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.polly and program.tiled_nests:
+        print(f"; polly-lite: tiled {program.tiled_nests} loop nest(s)",
+              file=sys.stderr)
+    if args.emit_ir:
+        print(program.module)
+    if args.emit_asm:
+        if program.asm is None:
+            print("error: --emit-asm requires --backend unum",
+                  file=sys.stderr)
+            return 1
+        print(program.asm)
+
+    if args.run:
+        run_args = _parse_run_args(args.args)
+        try:
+            result = program.run(args.run, run_args)
+        except Exception as error:
+            print(f"runtime error: {error}", file=sys.stderr)
+            return 2
+        print(f"{args.run}(...) = {result.value}")
+        if args.report:
+            report = result.report
+            print(f"cycles:            {report.cycles}")
+            print(f"instructions:      {report.instructions}")
+            print(f"mpfr calls:        {report.mpfr_calls}")
+            print(f"heap allocations:  {report.heap_allocations}")
+            print(f"LLC misses:        {report.llc_misses}")
+            if report.parallel_cycles:
+                time = report.parallel_time(args.threads)
+                print(f"parallel cycles:   {report.parallel_cycles}")
+                print(f"t({args.threads} threads):      {time:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""AST -> IR lowering (the Clang-CodeGen stand-in)."""
+
+from .irgen import CodegenError, IRGenerator, LITERAL_PRECISION, generate_ir
+
+__all__ = ["IRGenerator", "generate_ir", "CodegenError", "LITERAL_PRECISION"]

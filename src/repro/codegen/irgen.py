@@ -1,0 +1,1030 @@
+"""AST -> IR code generation.
+
+Lowers the analyzed vpfloat C dialect onto the SSA IR:
+
+- locals become entry-block allocas (later promoted by mem2reg);
+- dynamically-sized vpfloat declarations emit a ``__sizeof_vpfloat*``
+  runtime call that validates the attributes and yields the byte size
+  (paper §III-A5), plus ``vpfloat.attr.keepalive`` pins so optimization
+  cannot delete attribute values out from under live types (§III-B);
+- call sites with dynamic attribute bindings emit ``__vpfloat_check_attr``
+  runtime verification calls (paper Listing 3, lines 14/17);
+- ``#pragma omp parallel for`` loops are bracketed by
+  ``__omp_parallel_begin/end`` markers consumed by the execution model;
+  ``omp atomic`` statements by ``__omp_atomic_begin/end``;
+- mixed vpfloat/primitive arithmetic keeps the primitive operand visible
+  through a ``vpconv`` so the MPFR backend can select the specialized
+  ``mpfr_*_d/si`` entry points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bigfloat import BigFloat, from_str
+from ..ir import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    BasicBlock,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVPFloat,
+    FloatType,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IntType,
+    IRBuilder,
+    IRType,
+    Module,
+    PointerType,
+    UndefValue,
+    Value,
+    VPFloatType,
+    verify_module,
+)
+from ..lang import ast
+from ..lang.ctypes import (
+    ArrayT,
+    AttrConst,
+    AttrRef,
+    CType,
+    FloatT,
+    IntT,
+    PointerT,
+    VoidT,
+    VPFloatT,
+    decay,
+)
+from ..lang.lexer import SourceError
+
+#: Precision used to materialize vpfloat literals before their final type
+#: is known (paper §III-A5: constants are created at the format's maximum
+#: configuration and cast at runtime).
+LITERAL_PRECISION = 600
+
+#: Runtime library signatures.
+RUNTIME_SIGNATURES = {
+    "__sizeof_vpfloat": FunctionType(I64, (I32, I32, I32)),
+    "__sizeof_vpfloat_mpfr": FunctionType(I64, (I32, I32)),
+    "__vpfloat_check_attr": FunctionType(VOID, (I32, I32)),
+    "vpfloat.attr.keepalive": FunctionType(VOID, (I32,)),
+    "__omp_parallel_begin": FunctionType(VOID, (I64,)),
+    "__omp_parallel_end": FunctionType(VOID, ()),
+    "__omp_atomic_begin": FunctionType(VOID, ()),
+    "__omp_atomic_end": FunctionType(VOID, ()),
+    "malloc": FunctionType(PointerType(I8), (I64,)),
+    "free": FunctionType(VOID, (PointerType(I8),)),
+    "print_double": FunctionType(VOID, (F64,)),
+    "print_int": FunctionType(VOID, (I32,)),
+    "print_vpfloat": FunctionType(VOID, (F64,)),
+    "sqrt": FunctionType(F64, (F64,)),
+    "fabs": FunctionType(F64, (F64,)),
+    "exp": FunctionType(F64, (F64,)),
+    "log": FunctionType(F64, (F64,)),
+    "pow": FunctionType(F64, (F64, F64)),
+    "sin": FunctionType(F64, (F64,)),
+    "cos": FunctionType(F64, (F64,)),
+    "floor": FunctionType(F64, (F64,)),
+    "ceil": FunctionType(F64, (F64,)),
+    "fmax": FunctionType(F64, (F64, F64)),
+    "fmin": FunctionType(F64, (F64, F64)),
+    "vp.sqrt": FunctionType(F64, (F64,)),
+    "vp.fabs": FunctionType(F64, (F64,)),
+    "vp.exp": FunctionType(F64, (F64,)),
+    "vp.log": FunctionType(F64, (F64,)),
+    "vp.sin": FunctionType(F64, (F64,)),
+    "vp.cos": FunctionType(F64, (F64,)),
+    "vp.pow": FunctionType(F64, (F64, F64)),
+    "memset": FunctionType(VOID, (PointerType(I8), I32, I64)),
+    "memcpy": FunctionType(VOID, (PointerType(I8), PointerType(I8), I64)),
+}
+
+_VP_BUILTIN_MAP = {
+    "vp_sqrt": "vp.sqrt", "vp_fabs": "vp.fabs", "vp_exp": "vp.exp",
+    "vp_log": "vp.log", "vp_sin": "vp.sin", "vp_cos": "vp.cos",
+    "vp_pow": "vp.pow",
+}
+
+
+class CodegenError(SourceError):
+    """Lowering failure (usually an unsupported construct)."""
+
+
+class IRGenerator:
+    """One-shot translator from an analyzed AST to an IR module."""
+
+    def __init__(self, unit: ast.TranslationUnit, name: str = "module"):
+        self.unit = unit
+        self.module = Module(name)
+        self.builder = IRBuilder()
+        self.func: Optional[Function] = None
+        #: AST decl -> pointer Value (alloca / global / byref param slot).
+        self.slots: Dict[int, Value] = {}
+        #: AST decl -> CType as declared.
+        self.decl_types: Dict[int, CType] = {}
+        self.break_targets: List[BasicBlock] = []
+        self.continue_targets: List[BasicBlock] = []
+        #: Cache of attribute name -> i32 Value inside the current function.
+        self.attr_values: Dict[str, Value] = {}
+        self.func_decls: Dict[str, ast.FunctionDecl] = {}
+
+    # ------------------------------------------------------------ #
+    # Types
+    # ------------------------------------------------------------ #
+
+    def ir_type(self, ctype: CType) -> IRType:
+        if isinstance(ctype, VoidT):
+            return VOID
+        if isinstance(ctype, IntT):
+            return IntType(ctype.bits)
+        if isinstance(ctype, FloatT):
+            return FloatType(ctype.bits)
+        if isinstance(ctype, PointerT):
+            return PointerType(self.ir_type(ctype.pointee))
+        if isinstance(ctype, ArrayT):
+            if ctype.is_vla:
+                # VLAs lower to pointers; extent handled at the alloca.
+                return PointerType(self.ir_type(ctype.element))
+            return ArrayType(self.ir_type(ctype.element), ctype.size)
+        if isinstance(ctype, VPFloatT):
+            vptype = VPFloatType(
+                ctype.format,
+                self._attr_value(ctype.exp),
+                self._attr_value(ctype.prec),
+                self._attr_value(ctype.size) if ctype.size else None,
+            )
+            self.module.register_vpfloat_type(vptype)
+            return vptype
+        raise TypeError(f"cannot lower type {ctype}")
+
+    def _attr_value(self, attr) -> Value:
+        if isinstance(attr, AttrConst):
+            return ConstantInt(I32, attr.value)
+        assert isinstance(attr, AttrRef)
+        cached = self.attr_values.get(attr.name)
+        if cached is not None:
+            return cached
+        # Resolve against the current function's parameters first.
+        if self.func is not None:
+            for arg, param in zip(self.func.args, self._current_params()):
+                if param.name == attr.name:
+                    value = self._coerce_to_i32(arg)
+                    self.attr_values[attr.name] = value
+                    return value
+        # Fall back to a load of the named local/global slot.
+        decl = self._lookup_slot_by_name(attr.name)
+        if decl is None:
+            raise TypeError(f"unresolved vpfloat attribute {attr.name!r}")
+        loaded = self.builder.load(decl, name=f"{attr.name}.attr")
+        value = self._coerce_to_i32(loaded)
+        self.attr_values[attr.name] = value
+        return value
+
+    def _coerce_to_i32(self, value: Value) -> Value:
+        if value.type == I32:
+            return value
+        if value.type.is_integer:
+            opcode = "trunc" if value.type.bits > 32 else "sext"
+            return self.builder.cast(opcode, value, I32, name="attr.i32")
+        raise TypeError("vpfloat attribute must be integer-typed")
+
+    def _current_params(self) -> List[ast.ParamDecl]:
+        return self._params_by_func.get(self.func.name, [])
+
+    def _lookup_slot_by_name(self, name: str) -> Optional[Value]:
+        for decl_id, slot in self.slots.items():
+            decl = self._decl_by_id.get(decl_id)
+            if decl is not None and getattr(decl, "name", None) == name:
+                return slot
+        g = self.module.globals.get(name)
+        return g
+
+    # ------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------ #
+
+    def generate(self, verify: bool = True) -> Module:
+        self._decl_by_id: Dict[int, ast.Node] = {}
+        self._params_by_func: Dict[str, List[ast.ParamDecl]] = {}
+        for decl in self.unit.globals():
+            self._emit_global(decl)
+        # Declare all functions first so forward calls resolve.
+        for func_decl in self.unit.functions():
+            self._declare_function(func_decl)
+        for func_decl in self.unit.functions():
+            if func_decl.body is not None:
+                self._emit_function(func_decl)
+        if verify:
+            verify_module(self.module)
+        return self.module
+
+    # ------------------------------------------------------------ #
+    # Globals and declarations
+    # ------------------------------------------------------------ #
+
+    def _emit_global(self, decl: ast.VarDecl) -> None:
+        value_type = self.ir_type(decl.type)
+        initializer = None
+        if decl.init is not None:
+            initializer = self._const_initializer(decl.init, value_type)
+        var = GlobalVariable(value_type, decl.name, initializer)
+        self.module.add_global(var)
+        self.slots[id(decl)] = var
+        self.decl_types[id(decl)] = decl.type
+        self._decl_by_id[id(decl)] = decl
+
+    def _const_initializer(self, expr: ast.Expr, type: IRType):
+        if isinstance(expr, ast.IntLit):
+            if type.is_integer:
+                return ConstantInt(type, expr.value)
+            if type.is_float:
+                return ConstantFloat(type, float(expr.value))
+        if isinstance(expr, ast.FloatLit) and type.is_float:
+            return ConstantFloat(type, float(expr.text))
+        if isinstance(expr, ast.FloatLit) and type.is_vpfloat:
+            return ConstantVPFloat(type, from_str(expr.text, LITERAL_PRECISION))
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            inner = self._const_initializer(expr.operand, type)
+            if isinstance(inner, ConstantInt):
+                return ConstantInt(type, -inner.value)
+            if isinstance(inner, ConstantFloat):
+                return ConstantFloat(type, -inner.value)
+        raise CodegenError("global initializer must be a literal",
+                           expr.line, expr.column)
+
+    def _declare_function(self, decl: ast.FunctionDecl) -> None:
+        if decl.name in self.module.functions:
+            self._params_by_func.setdefault(decl.name, decl.params)
+            return
+        self.func_decls[decl.name] = decl
+        self._params_by_func[decl.name] = decl.params
+        # Parameters with dependent vpfloat types need their attribute
+        # arguments resolved while building the signature: construct the
+        # Function first with placeholder types, then patch.
+        func = Function(decl.name,
+                        FunctionType(VOID, [VOID] * len(decl.params)),
+                        [p.name for p in decl.params])
+        self.module.add_function(func)
+        self.func, saved_attrs = func, self.attr_values
+        self.attr_values = {}
+        try:
+            param_types = []
+            for param in decl.params:
+                ptype = self.ir_type(decay(param.type))
+                param_types.append(ptype)
+                func.args[param.index].type = ptype
+            ret_type = self.ir_type(decay(decl.return_type)) \
+                if not isinstance(decl.return_type, VoidT) else VOID
+            func.type = FunctionType(ret_type, param_types)
+        finally:
+            self.func = None
+            self.attr_values = saved_attrs
+
+    # ------------------------------------------------------------ #
+    # Function bodies
+    # ------------------------------------------------------------ #
+
+    def _emit_function(self, decl: ast.FunctionDecl) -> None:
+        func = self.module.get_function(decl.name)
+        self.func = func
+        self.attr_values = {}
+        entry = func.add_block("entry")
+        self.builder.set_insert_point(entry)
+
+        # Parameter slots: store each argument into an alloca so the body
+        # can take addresses / reassign; mem2reg cleans this up.
+        for param, arg in zip(decl.params, func.args):
+            slot = self.builder.alloca(arg.type, name=f"{param.name}.addr")
+            self.builder.store(arg, slot)
+            self.slots[id(param)] = slot
+            self.decl_types[id(param)] = decay(param.type)
+            self._decl_by_id[id(param)] = param
+            # Pin arguments used as type attributes (paper §III-B).
+            if self._is_attribute_param(decl, param):
+                keepalive = self._runtime("vpfloat.attr.keepalive")
+                self.builder.call(keepalive,
+                                  [self._coerce_to_i32(arg)], name="")
+
+        self._emit_block(decl.body)
+
+        # Implicit return for void functions / fallthrough.
+        if self.builder.block.terminator is None:
+            if isinstance(decl.return_type, VoidT):
+                self.builder.ret()
+            else:
+                self.builder.ret(UndefValue(func.return_type))
+        self.func = None
+
+    def _is_attribute_param(self, func_decl: ast.FunctionDecl,
+                            param: ast.ParamDecl) -> bool:
+        def mentions(ctype: CType) -> bool:
+            core = ctype
+            while isinstance(core, (PointerT, ArrayT)):
+                core = core.pointee if isinstance(core, PointerT) \
+                    else core.element
+            if not isinstance(core, VPFloatT):
+                return False
+            return any(isinstance(a, AttrRef) and a.name == param.name
+                       for a in core.attributes())
+
+        return any(mentions(p.type) for p in func_decl.params) or \
+            mentions(func_decl.return_type)
+
+    def _runtime(self, name: str) -> Function:
+        return self.module.get_or_declare(name, RUNTIME_SIGNATURES[name])
+
+    # ------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------ #
+
+    def _emit_block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            if self.builder.block.terminator is not None:
+                break  # unreachable code after return/break
+            self._emit_stmt(stmt)
+
+    def _emit_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._emit_block(stmt)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._emit_local_decl(decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._emit_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._emit_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._emit_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._emit_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._emit_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.builder.br(self.break_targets[-1])
+        elif isinstance(stmt, ast.Continue):
+            self.builder.br(self.continue_targets[-1])
+        elif isinstance(stmt, ast.Pragma):
+            if stmt.text == "omp atomic" and stmt.statement is not None:
+                self.builder.call(self._runtime("__omp_atomic_begin"), [],
+                                  name="")
+                self._emit_stmt(stmt.statement)
+                self.builder.call(self._runtime("__omp_atomic_end"), [],
+                                  name="")
+            elif stmt.statement is not None:
+                self._emit_stmt(stmt.statement)
+        else:
+            raise CodegenError(f"unsupported statement {type(stmt).__name__}",
+                               stmt.line, stmt.column)
+
+    def _emit_local_decl(self, decl: ast.VarDecl) -> None:
+        ctype = decl.type
+        self._decl_by_id[id(decl)] = decl
+        if isinstance(ctype, ArrayT):
+            element_ir = self.ir_type(ctype.element)
+            if ctype.is_vla:
+                extent = self._rvalue_as(decl.type.vla_extent, I64)
+                self._emit_dynamic_size_check(ctype.element)
+                slot = self.builder.alloca(element_ir, count=extent,
+                                           name=decl.name)
+            else:
+                self._emit_dynamic_size_check(ctype.element)
+                slot = self.builder.alloca(ArrayType(element_ir, ctype.size),
+                                           name=decl.name)
+        else:
+            self._emit_dynamic_size_check(ctype)
+            slot = self.builder.alloca(self.ir_type(ctype), name=decl.name)
+        self.slots[id(decl)] = slot
+        self.decl_types[id(decl)] = ctype
+        if decl.init is not None:
+            target_type = slot.type.pointee
+            value = self._emit_expr(decl.init, expected=target_type)
+            value = self._convert(value, target_type, decl.init)
+            self.builder.store(value, slot)
+
+    def _emit_dynamic_size_check(self, ctype: CType) -> None:
+        """Every dynamically-sized declaration calls ``__sizeof_vpfloat``
+        to validate attributes and obtain the allocation size (§III-A5)."""
+        if not isinstance(ctype, VPFloatT) or ctype.is_static:
+            return
+        self._emit_sizeof_call(ctype)
+
+    def _emit_sizeof_call(self, ctype: VPFloatT) -> Value:
+        exp = self._attr_value(ctype.exp)
+        prec = self._attr_value(ctype.prec)
+        if ctype.format == "unum":
+            size = self._attr_value(ctype.size) if ctype.size \
+                else ConstantInt(I32, 0)
+            return self.builder.call(
+                self._runtime("__sizeof_vpfloat"), [exp, prec, size],
+                name="vpsize",
+            )
+        return self.builder.call(
+            self._runtime("__sizeof_vpfloat_mpfr"), [exp, prec],
+            name="vpsize",
+        )
+
+    def _emit_if(self, stmt: ast.If) -> None:
+        cond = self._emit_condition(stmt.cond)
+        then_block = self.func.add_block("if.then")
+        merge_block = self.func.add_block("if.end")
+        else_block = merge_block
+        if stmt.else_body is not None:
+            else_block = self.func.add_block("if.else")
+        self.builder.cond_br(cond, then_block, else_block)
+
+        self.builder.set_insert_point(then_block)
+        self._emit_stmt(stmt.then_body)
+        if self.builder.block.terminator is None:
+            self.builder.br(merge_block)
+
+        if stmt.else_body is not None:
+            self.builder.set_insert_point(else_block)
+            self._emit_stmt(stmt.else_body)
+            if self.builder.block.terminator is None:
+                self.builder.br(merge_block)
+
+        self.builder.set_insert_point(merge_block)
+
+    def _emit_while(self, stmt: ast.While) -> None:
+        header = self.func.add_block("while.cond")
+        body = self.func.add_block("while.body")
+        exit_block = self.func.add_block("while.end")
+        self.builder.br(header)
+        self.builder.set_insert_point(header)
+        cond = self._emit_condition(stmt.cond)
+        self.builder.cond_br(cond, body, exit_block)
+        self.builder.set_insert_point(body)
+        self.break_targets.append(exit_block)
+        self.continue_targets.append(header)
+        self._emit_stmt(stmt.body)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        if self.builder.block.terminator is None:
+            self.builder.br(header)
+        self.builder.set_insert_point(exit_block)
+
+    def _emit_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.func.add_block("do.body")
+        cond_block = self.func.add_block("do.cond")
+        exit_block = self.func.add_block("do.end")
+        self.builder.br(body)
+        self.builder.set_insert_point(body)
+        self.break_targets.append(exit_block)
+        self.continue_targets.append(cond_block)
+        self._emit_stmt(stmt.body)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        if self.builder.block.terminator is None:
+            self.builder.br(cond_block)
+        self.builder.set_insert_point(cond_block)
+        cond = self._emit_condition(stmt.cond)
+        self.builder.cond_br(cond, body, exit_block)
+        self.builder.set_insert_point(exit_block)
+
+    def _emit_for(self, stmt: ast.For) -> None:
+        if stmt.omp_parallel:
+            trip = self._estimate_trip_count(stmt)
+            self.builder.call(self._runtime("__omp_parallel_begin"),
+                              [trip], name="")
+        if stmt.init is not None:
+            self._emit_stmt(stmt.init)
+        header = self.func.add_block("for.cond")
+        body = self.func.add_block("for.body")
+        step_block = self.func.add_block("for.inc")
+        exit_block = self.func.add_block("for.end")
+        self.builder.br(header)
+        self.builder.set_insert_point(header)
+        if stmt.cond is not None:
+            cond = self._emit_condition(stmt.cond)
+            self.builder.cond_br(cond, body, exit_block)
+        else:
+            self.builder.br(body)
+        self.builder.set_insert_point(body)
+        self.break_targets.append(exit_block)
+        self.continue_targets.append(step_block)
+        self._emit_stmt(stmt.body)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        if self.builder.block.terminator is None:
+            self.builder.br(step_block)
+        self.builder.set_insert_point(step_block)
+        if stmt.step is not None:
+            self._emit_expr(stmt.step)
+        self.builder.br(header)
+        self.builder.set_insert_point(exit_block)
+        if stmt.omp_parallel:
+            self.builder.call(self._runtime("__omp_parallel_end"), [],
+                              name="")
+
+    def _estimate_trip_count(self, stmt: ast.For) -> Value:
+        """Best-effort trip count for the parallel-for marker (cost model)."""
+        if isinstance(stmt.cond, ast.Binary) and stmt.cond.op in ("<", "<="):
+            bound = stmt.cond.rhs
+            try:
+                value = self._rvalue_as(bound, I64)
+                return value
+            except Exception:  # pragma: no cover - conservative fallback
+                pass
+        return ConstantInt(I64, 0)
+
+    def _emit_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self.builder.ret()
+            return
+        expected = self.func.return_type
+        value = self._emit_expr(stmt.value, expected=expected)
+        value = self._convert(value, expected, stmt.value)
+        self.builder.ret(value)
+
+    # ------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------ #
+
+    def _emit_condition(self, expr: ast.Expr) -> Value:
+        value = self._emit_expr(expr)
+        return self._to_bool(value)
+
+    def _to_bool(self, value: Value) -> Value:
+        if value.type == I1:
+            return value
+        if value.type.is_integer:
+            zero = ConstantInt(value.type, 0)
+            return self.builder.icmp("ne", value, zero)
+        if value.type.is_float:
+            zero = ConstantFloat(value.type, 0.0)
+            return self.builder.fcmp("one", value, zero)
+        if value.type.is_vpfloat:
+            zero = self.builder.const_vpfloat(
+                value.type, BigFloat.zero(LITERAL_PRECISION))
+            return self.builder.fcmp("one", value, zero)
+        if value.type.is_pointer:
+            return self.builder.icmp(
+                "ne",
+                self.builder.cast("ptrtoint", value, I64),
+                ConstantInt(I64, 0),
+            )
+        raise TypeError(f"cannot convert {value.type} to boolean")
+
+    def _emit_expr(self, expr: ast.Expr,
+                   expected: Optional[IRType] = None) -> Value:
+        method = getattr(self, f"_gen_{type(expr).__name__}")
+        return method(expr, expected)
+
+    # ---- literals ------------------------------------------------ #
+
+    def _gen_IntLit(self, expr: ast.IntLit, expected) -> Value:
+        if expected is not None and expected.is_integer:
+            return ConstantInt(expected, expr.value)
+        bits = 64 if expr.long else 32
+        return ConstantInt(IntType(bits), expr.value)
+
+    def _gen_FloatLit(self, expr: ast.FloatLit, expected) -> Value:
+        if expected is not None and expected.is_vpfloat:
+            return self.builder.const_vpfloat(
+                expected, from_str(expr.text, LITERAL_PRECISION))
+        if expr.suffix == "f":
+            import struct as _struct
+
+            rounded = _struct.unpack("f", _struct.pack(
+                "f", float(expr.text)))[0]
+            return ConstantFloat(F32, rounded)
+        constant = ConstantFloat(F64, float(expr.text))
+        constant.literal_text = expr.text  # kept for exact vpfloat retyping
+        return constant
+
+    def _gen_StringLit(self, expr: ast.StringLit, expected) -> Value:
+        from ..ir import ConstantString
+
+        return ConstantString(PointerType(I8), expr.value)
+
+    # ---- lvalues -------------------------------------------------- #
+
+    def _lvalue(self, expr: ast.Expr) -> Tuple[Value, IRType]:
+        """Returns (pointer, pointee IR type)."""
+        if isinstance(expr, ast.Ident):
+            slot = self.slots.get(id(expr.decl))
+            if slot is None:
+                raise CodegenError(f"no storage for {expr.name!r}",
+                                   expr.line, expr.column)
+            return slot, slot.type.pointee
+        if isinstance(expr, ast.Index):
+            return self._index_lvalue(expr)
+        if isinstance(expr, ast.Deref):
+            pointer = self._emit_expr(expr.operand)
+            return pointer, pointer.type.pointee
+        raise CodegenError("expression is not an lvalue",
+                           expr.line, expr.column)
+
+    def _index_lvalue(self, expr: ast.Index) -> Tuple[Value, IRType]:
+        base_ct = decay(expr.base.ctype)
+        index = self._rvalue_as(expr.index, I64)
+        base = self._emit_expr(expr.base)
+        if isinstance(base.type, PointerType) and \
+                isinstance(base.type.pointee, ArrayType):
+            ptr = self.builder.gep(base, [ConstantInt(I64, 0), index])
+        else:
+            ptr = self.builder.gep(base, [index])
+        return ptr, ptr.type.pointee
+
+    # ---- expressions ---------------------------------------------- #
+
+    def _gen_Ident(self, expr: ast.Ident, expected) -> Value:
+        declared = self.decl_types.get(id(expr.decl))
+        if isinstance(declared, ArrayT) and declared.is_vla:
+            # A VLA's storage slot *is* the decayed element pointer.
+            return self.slots[id(expr.decl)]
+        slot, pointee = self._lvalue(expr)
+        if isinstance(pointee, ArrayType):
+            # Array-to-pointer decay: &array[0].
+            return self.builder.gep(
+                slot, [ConstantInt(I64, 0), ConstantInt(I64, 0)],
+                name=f"{expr.name}.decay",
+            )
+        return self.builder.load(slot, name=expr.name)
+
+    def _gen_Index(self, expr: ast.Index, expected) -> Value:
+        ptr, pointee = self._index_lvalue(expr)
+        if isinstance(pointee, ArrayType):
+            return self.builder.gep(
+                ptr, [ConstantInt(I64, 0), ConstantInt(I64, 0)],
+                name="decay",
+            )
+        return self.builder.load(ptr)
+
+    def _gen_Deref(self, expr: ast.Deref, expected) -> Value:
+        pointer = self._emit_expr(expr.operand)
+        return self.builder.load(pointer)
+
+    def _gen_AddressOf(self, expr: ast.AddressOf, expected) -> Value:
+        pointer, _ = self._lvalue(expr.operand)
+        return pointer
+
+    def _gen_Binary(self, expr: ast.Binary, expected) -> Value:
+        op = expr.op
+        if op == ",":
+            self._emit_expr(expr.lhs)
+            return self._emit_expr(expr.rhs)
+        if op in ("&&", "||"):
+            return self._gen_short_circuit(expr)
+        lhs_ct = decay(expr.lhs.ctype)
+        rhs_ct = decay(expr.rhs.ctype)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._gen_comparison(expr, lhs_ct, rhs_ct)
+        if isinstance(lhs_ct, PointerT) or isinstance(rhs_ct, PointerT):
+            return self._gen_pointer_arith(expr, lhs_ct, rhs_ct)
+        result_type = self.ir_type(expr.ctype)
+        lhs = self._emit_expr(expr.lhs, expected=result_type)
+        rhs = self._emit_expr(expr.rhs, expected=result_type)
+        lhs = self._convert(lhs, result_type, expr.lhs)
+        rhs = self._convert(rhs, result_type, expr.rhs)
+        if result_type.is_fp:
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+                      "%": "frem"}[op]
+        else:
+            signed = getattr(expr.ctype, "signed", True)
+            opcode = {
+                "+": "add", "-": "sub", "*": "mul",
+                "/": "sdiv" if signed else "udiv",
+                "%": "srem" if signed else "urem",
+                "&": "and", "|": "or", "^": "xor",
+                "<<": "shl", ">>": "ashr" if signed else "lshr",
+            }[op]
+        return self.builder.binop(opcode, lhs, rhs)
+
+    def _gen_comparison(self, expr: ast.Binary, lhs_ct, rhs_ct) -> Value:
+        if isinstance(lhs_ct, PointerT) or isinstance(rhs_ct, PointerT):
+            lhs = self._emit_expr(expr.lhs)
+            rhs = self._emit_expr(expr.rhs)
+            lhs = self.builder.cast("ptrtoint", lhs, I64)
+            rhs = self.builder.cast("ptrtoint", rhs, I64)
+            pred = {"==": "eq", "!=": "ne", "<": "ult", "<=": "ule",
+                    ">": "ugt", ">=": "uge"}[expr.op]
+            return self.builder.icmp(pred, lhs, rhs)
+        common_ct = self._common_arith_type(lhs_ct, rhs_ct)
+        common = self.ir_type(common_ct)
+        lhs = self._convert(self._emit_expr(expr.lhs, expected=common),
+                            common, expr.lhs)
+        rhs = self._convert(self._emit_expr(expr.rhs, expected=common),
+                            common, expr.rhs)
+        if common.is_fp:
+            pred = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole",
+                    ">": "ogt", ">=": "oge"}[expr.op]
+            return self.builder.fcmp(pred, lhs, rhs)
+        signed = getattr(common_ct, "signed", True)
+        if signed:
+            pred = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+                    ">": "sgt", ">=": "sge"}[expr.op]
+        else:
+            pred = {"==": "eq", "!=": "ne", "<": "ult", "<=": "ule",
+                    ">": "ugt", ">=": "uge"}[expr.op]
+        return self.builder.icmp(pred, lhs, rhs)
+
+    def _common_arith_type(self, a: CType, b: CType) -> CType:
+        if isinstance(a, VPFloatT):
+            return a
+        if isinstance(b, VPFloatT):
+            return b
+        if isinstance(a, FloatT) or isinstance(b, FloatT):
+            bits = max(a.bits if isinstance(a, FloatT) else 0,
+                       b.bits if isinstance(b, FloatT) else 0)
+            return FloatT(bits)
+        bits = max(a.bits, b.bits, 32)
+        signed = a.signed and b.signed
+        return IntT(bits, signed)
+
+    def _gen_pointer_arith(self, expr: ast.Binary, lhs_ct, rhs_ct) -> Value:
+        if isinstance(lhs_ct, PointerT) and isinstance(rhs_ct, PointerT):
+            lhs = self.builder.cast("ptrtoint", self._emit_expr(expr.lhs), I64)
+            rhs = self.builder.cast("ptrtoint", self._emit_expr(expr.rhs), I64)
+            diff = self.builder.sub(lhs, rhs)
+            elem = self.ir_type(lhs_ct.pointee)
+            return self.builder.sdiv(
+                diff, ConstantInt(I64, elem.size_bytes()))
+        if isinstance(lhs_ct, PointerT):
+            base = self._emit_expr(expr.lhs)
+            offset = self._rvalue_as(expr.rhs, I64)
+            if expr.op == "-":
+                offset = self.builder.sub(ConstantInt(I64, 0), offset)
+            return self.builder.gep(base, [offset])
+        base = self._emit_expr(expr.rhs)
+        offset = self._rvalue_as(expr.lhs, I64)
+        return self.builder.gep(base, [offset])
+
+    def _gen_short_circuit(self, expr: ast.Binary) -> Value:
+        lhs = self._emit_condition(expr.lhs)
+        lhs_block = self.builder.block
+        rhs_block = self.func.add_block("sc.rhs")
+        merge = self.func.add_block("sc.end")
+        if expr.op == "&&":
+            self.builder.cond_br(lhs, rhs_block, merge)
+        else:
+            self.builder.cond_br(lhs, merge, rhs_block)
+        self.builder.set_insert_point(rhs_block)
+        rhs = self._emit_condition(expr.rhs)
+        rhs_exit = self.builder.block
+        self.builder.br(merge)
+        self.builder.set_insert_point(merge)
+        phi = self.builder.phi(I1, name="sc")
+        phi.add_incoming(ConstantInt(I1, 0 if expr.op == "&&" else 1),
+                         lhs_block)
+        phi.add_incoming(rhs, rhs_exit)
+        return phi
+
+    def _gen_Unary(self, expr: ast.Unary, expected) -> Value:
+        if expr.op in ("++", "--"):
+            ptr, pointee = self._lvalue(expr.operand)
+            old = self.builder.load(ptr)
+            if pointee.is_pointer:
+                step = ConstantInt(I64, 1 if expr.op == "++" else -1)
+                new = self.builder.gep(old, [step])
+            else:
+                one = ConstantInt(pointee, 1)
+                new = (self.builder.add(old, one) if expr.op == "++"
+                       else self.builder.sub(old, one))
+            self.builder.store(new, ptr)
+            return old if expr.postfix else new
+        if expr.op == "!":
+            return self.builder.binop(
+                "xor", self._emit_condition(expr.operand),
+                ConstantInt(I1, 1))
+        operand = self._emit_expr(expr.operand, expected=expected)
+        if expr.op == "+":
+            return operand
+        if expr.op == "~":
+            return self.builder.binop(
+                "xor", operand, ConstantInt(operand.type, -1))
+        # Negation.
+        if operand.type.is_fp:
+            return self.builder.fneg(operand)
+        return self.builder.sub(ConstantInt(operand.type, 0), operand)
+
+    def _gen_Assign(self, expr: ast.Assign, expected) -> Value:
+        ptr, pointee = self._lvalue(expr.target)
+        if expr.op == "=":
+            value = self._emit_expr(expr.value, expected=pointee)
+            value = self._convert(value, pointee, expr.value)
+        else:
+            op = expr.op[:-1]
+            old = self.builder.load(ptr)
+            if pointee.is_pointer:
+                offset = self._rvalue_as(expr.value, I64)
+                if op == "-":
+                    offset = self.builder.sub(ConstantInt(I64, 0), offset)
+                value = self.builder.gep(old, [offset])
+            else:
+                rhs = self._emit_expr(expr.value, expected=pointee)
+                rhs = self._convert(rhs, pointee, expr.value)
+                if pointee.is_fp:
+                    opcode = {"+": "fadd", "-": "fsub", "*": "fmul",
+                              "/": "fdiv", "%": "frem"}[op]
+                else:
+                    opcode = {"+": "add", "-": "sub", "*": "mul",
+                              "/": "sdiv", "%": "srem"}[op]
+                value = self.builder.binop(opcode, old, rhs)
+        self.builder.store(value, ptr)
+        return value
+
+    def _gen_Ternary(self, expr: ast.Ternary, expected) -> Value:
+        result_type = self.ir_type(expr.ctype)
+        cond = self._emit_condition(expr.cond)
+        then_block = self.func.add_block("sel.then")
+        else_block = self.func.add_block("sel.else")
+        merge = self.func.add_block("sel.end")
+        self.builder.cond_br(cond, then_block, else_block)
+        self.builder.set_insert_point(then_block)
+        tval = self._convert(
+            self._emit_expr(expr.true_expr, expected=result_type),
+            result_type, expr.true_expr)
+        then_exit = self.builder.block
+        self.builder.br(merge)
+        self.builder.set_insert_point(else_block)
+        fval = self._convert(
+            self._emit_expr(expr.false_expr, expected=result_type),
+            result_type, expr.false_expr)
+        else_exit = self.builder.block
+        self.builder.br(merge)
+        self.builder.set_insert_point(merge)
+        phi = self.builder.phi(result_type, name="cond")
+        phi.add_incoming(tval, then_exit)
+        phi.add_incoming(fval, else_exit)
+        return phi
+
+    def _gen_Call(self, expr: ast.Call, expected) -> Value:
+        mapped = _VP_BUILTIN_MAP.get(expr.name)
+        if mapped is not None:
+            args = [self._emit_expr(a) for a in expr.args]
+            result_type = args[0].type
+            return self.builder.call(self._runtime(mapped), args,
+                                     name=expr.name,
+                                     result_type=result_type)
+        if expr.decl is None:
+            # Library builtin with a concrete signature.
+            callee = self._runtime(expr.name)
+            args = []
+            for arg, ptype in zip(expr.args, callee.type.params):
+                value = self._emit_expr(arg, expected=ptype)
+                args.append(self._convert(value, ptype, arg))
+            return self.builder.call(callee, args, name=expr.name)
+        callee = self.module.get_function(expr.name)
+        args = []
+        for arg, ptype in zip(expr.args, callee.type.params):
+            if _mentions_foreign_vpfloat(ptype, self.func):
+                # Dependent parameter type: the argument already satisfies
+                # it (attribute equality is enforced by the runtime checks
+                # below); no conversion is possible or needed.
+                args.append(self._emit_expr(arg))
+                continue
+            value = self._emit_expr(arg, expected=ptype)
+            args.append(self._convert(value, ptype, arg))
+        # Runtime attribute-consistency checks (paper Listing 3).
+        for check in getattr(expr, "runtime_attr_checks", []):
+            self._emit_attr_check(expr, check, callee, args)
+        # Dependent return types are rebound to caller-side attributes
+        # (sema already substituted them into expr.ctype).
+        result_type = None
+        if _mentions_foreign_vpfloat(callee.return_type, self.func):
+            result_type = self.ir_type(expr.ctype)
+        return self.builder.call(callee, args, name=expr.name,
+                                 result_type=result_type)
+
+    def _emit_attr_check(self, expr: ast.Call, check, callee, args) -> None:
+        name, against = check
+        actual = self._call_attr_value(expr, name, callee, args)
+        if actual is None:
+            return
+        if isinstance(against, int):
+            expected_value: Value = ConstantInt(I32, against)
+        else:
+            # The comparison is against the *caller-scope* attribute
+            # variable (paper Listing 3 line 17: "++p" invalidates the
+            # types), not against the callee binding.
+            try:
+                expected_value = self._attr_value(AttrRef(against))
+            except TypeError:
+                expected_value = self._call_attr_value(expr, against,
+                                                       callee, args)
+            if expected_value is None:
+                return
+        self.builder.call(self._runtime("__vpfloat_check_attr"),
+                          [actual, expected_value], name="")
+
+    def _call_attr_value(self, expr: ast.Call, name: str, callee,
+                         args) -> Optional[Value]:
+        """The i32 value bound to callee parameter ``name`` at this call."""
+        params = self._params_by_func.get(expr.name, [])
+        for i, param in enumerate(params):
+            if param.name == name and i < len(args):
+                value = args[i]
+                if value.type.is_integer:
+                    return self._coerce_to_i32(value)
+        # Not a parameter: caller-scope variable.
+        try:
+            return self._attr_value(AttrRef(name))
+        except TypeError:
+            return None
+
+    def _gen_Cast(self, expr: ast.Cast, expected) -> Value:
+        target = self.ir_type(decay(expr.target_type))
+        value = self._emit_expr(expr.expr, expected=target)
+        return self._convert(value, target, expr.expr, explicit=True)
+
+    def _gen_SizeofType(self, expr: ast.SizeofType, expected) -> Value:
+        queried = expr.queried_type
+        if isinstance(queried, VPFloatT) and not queried.is_static:
+            return self._emit_sizeof_call(queried)
+        return ConstantInt(I64, self.ir_type(queried).size_bytes())
+
+    def _gen_SizeofExpr(self, expr: ast.SizeofExpr, expected) -> Value:
+        ctype = expr.operand.ctype
+        if isinstance(ctype, VPFloatT) and not ctype.is_static:
+            return self._emit_sizeof_call(ctype)
+        return ConstantInt(I64, self.ir_type(decay(ctype)).size_bytes())
+
+    # ------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------ #
+
+    def _rvalue_as(self, expr: ast.Expr, type: IRType) -> Value:
+        value = self._emit_expr(expr, expected=type)
+        return self._convert(value, type, expr)
+
+    def _convert(self, value: Value, target: IRType, origin: ast.Expr,
+                 explicit: bool = False) -> Value:
+        source = value.type
+        if source == target:
+            return value
+        # Constant folding of literal conversions.
+        if isinstance(value, ConstantFloat) and target.is_vpfloat:
+            text = getattr(value, "literal_text", None)
+            if text is not None:
+                return self.builder.const_vpfloat(
+                    target, from_str(text, LITERAL_PRECISION))
+            return self.builder.const_vpfloat(
+                target, BigFloat.from_float(value.value, LITERAL_PRECISION))
+        if isinstance(value, ConstantInt) and target.is_fp:
+            if target.is_vpfloat:
+                return self.builder.const_vpfloat(
+                    target, BigFloat.from_int(value.value, LITERAL_PRECISION))
+            return ConstantFloat(target, float(value.value))
+        if isinstance(value, ConstantInt) and target.is_integer:
+            return ConstantInt(target, value.value)
+        if source.is_integer and target.is_integer:
+            if target.bits > source.bits:
+                return self.builder.cast("sext", value, target)
+            if target.bits < source.bits:
+                return self.builder.cast("trunc", value, target)
+            return self.builder.cast("bitcast", value, target)
+        if source.is_integer and target.is_float:
+            return self.builder.cast("sitofp", value, target)
+        if source.is_integer and target.is_vpfloat:
+            return self.builder.cast("sitofp", value, target)
+        if source.is_float and target.is_integer:
+            return self.builder.cast("fptosi", value, target)
+        if source.is_float and target.is_float:
+            opcode = "fpext" if target.bits > source.bits else "fptrunc"
+            return self.builder.cast(opcode, value, target)
+        # vpfloat conversions are always explicit vpconv instructions;
+        # sema restricted the implicit ones to plain assignment already.
+        if source.is_fp and target.is_fp:
+            return self.builder.vpconv(value, target)
+        if source.is_vpfloat and target.is_integer:
+            return self.builder.cast("fptosi", value, target)
+        if source.is_pointer and target.is_pointer:
+            return self.builder.cast("bitcast", value, target)
+        if source.is_pointer and target.is_integer:
+            return self.builder.cast("ptrtoint", value, target)
+        if source.is_integer and target.is_pointer:
+            return self.builder.cast("inttoptr", value, target)
+        raise CodegenError(
+            f"cannot convert {source} to {target}",
+            origin.line, origin.column,
+        )
+
+
+def _mentions_foreign_vpfloat(type: IRType, current_func) -> bool:
+    """True when ``type`` contains a vpfloat whose attributes are Values
+    owned by a different function (a dependent callee signature type)."""
+    core = type
+    while isinstance(core, (PointerType, ArrayType)):
+        core = core.pointee if isinstance(core, PointerType) else core.element
+    if not isinstance(core, VPFloatType):
+        return False
+    from ..ir import Constant
+
+    return any(not isinstance(a, Constant) for a in core.attributes())
+
+
+def generate_ir(unit: ast.TranslationUnit, name: str = "module",
+                verify: bool = True) -> Module:
+    """Lower an analyzed translation unit to an IR module."""
+    return IRGenerator(unit, name).generate(verify=verify)

@@ -1,0 +1,167 @@
+"""Public compilation API: one driver over the whole flow.
+
+This is the package's front door::
+
+    from repro.core import CompilerDriver
+
+    program = CompilerDriver(backend="mpfr", polly=True).compile(source)
+    result = program.run("kernel", [args...])
+
+Backends: ``"none"`` (vpfloat stays first-class, functional testing),
+``"mpfr"`` (the paper's MPFR lowering), ``"boost"`` (the Boost-style
+baseline), ``"unum"`` (the coprocessor ISA backend executed on the
+machine model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..backends import BoostLoweringPass, MPFRLoweringPass
+from ..codegen import generate_ir
+from ..ir import Module, verify_module
+from ..lang import analyze, parse
+from ..passes import build_o3_pipeline
+from ..passes.polly import optimize_unit
+from ..runtime import CostAccounting, ExecutionResult, Interpreter
+from ..runtime.cost_model import CacheModel
+
+BACKENDS = ("none", "mpfr", "boost", "unum")
+
+
+@dataclass
+class CompileOptions:
+    """Knobs mirroring the paper's evaluation configurations."""
+
+    opt_level: int = 3
+    polly: bool = False
+    polly_tile: int = 16
+    backend: str = "mpfr"
+    #: MPFR-backend options (the ablation switches).
+    reuse_objects: bool = True
+    specialize_scalars: bool = True
+    in_place_stores: bool = True
+    #: -O3 pipeline switches.
+    enable_loop_idiom: bool = True
+    enable_inlining: bool = True
+    enable_unroll: bool = True
+    #: FP_CONTRACT: fuse a*b+c into fma (off by default; see passes.fma).
+    contract_fma: bool = False
+    verify: bool = True
+
+
+class CompiledProgram:
+    """The result of a compilation: IR module and (for unum) assembly."""
+
+    def __init__(self, module: Module, options: CompileOptions,
+                 asm=None, tiled_nests: int = 0):
+        self.module = module
+        self.options = options
+        self.asm = asm
+        self.tiled_nests = tiled_nests
+
+    # ------------------------------------------------------------ #
+
+    def run(self, name: str, args: Optional[List[object]] = None,
+            cache: bool = True, max_steps: int = 500_000_000,
+            coprocessor=None, costs=None) -> ExecutionResult:
+        """Execute a function; returns value + CostReport + stdout.
+
+        ``costs`` selects a CycleCosts profile (default: Xeon-calibrated;
+        pass ``ROCKET_CYCLE_COSTS`` for the Fig. 2 FPGA baseline)."""
+        accounting = CostAccounting(costs=costs,
+                                    cache=CacheModel() if cache else None)
+        if self.options.backend == "unum":
+            from ..runtime.unum_machine import UnumMachine
+
+            machine = UnumMachine(self.asm, accounting=accounting,
+                                  coprocessor=coprocessor,
+                                  max_steps=max_steps)
+            value = machine.run(name, args)
+            report = accounting.report
+            report.cycles += machine.scalar_cycles + \
+                machine.coprocessor.cycles
+            report.serial_cycles = report.cycles - report.parallel_cycles
+            result = ExecutionResult(value, report, machine.stdout)
+            result.machine = machine
+            return result
+        interpreter = Interpreter(self.module, accounting=accounting,
+                                  max_steps=max_steps)
+        result = interpreter.run(name, args)
+        result.interpreter = interpreter
+        return result
+
+    def interpreter(self, cache: bool = True,
+                    max_steps: int = 500_000_000, costs=None) -> Interpreter:
+        """A fresh interpreter over the compiled module (mpfr/boost/none)."""
+        accounting = CostAccounting(costs=costs,
+                                    cache=CacheModel() if cache else None)
+        return Interpreter(self.module, accounting=accounting,
+                           max_steps=max_steps)
+
+    def machine(self, cache: bool = True, coprocessor=None,
+                max_steps: int = 500_000_000, costs=None):
+        """A fresh UNUM machine over the compiled assembly."""
+        from ..runtime.unum_machine import UnumMachine
+
+        accounting = CostAccounting(costs=costs,
+                                    cache=CacheModel() if cache else None)
+        return UnumMachine(self.asm, accounting=accounting,
+                           coprocessor=coprocessor, max_steps=max_steps)
+
+
+class CompilerDriver:
+    """parse -> sema -> [polly] -> irgen -> -O3 -> backend."""
+
+    def __init__(self, backend: str = "mpfr", opt_level: int = 3,
+                 polly: bool = False, **kwargs):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        self.options = CompileOptions(backend=backend, opt_level=opt_level,
+                                      polly=polly, **kwargs)
+
+    def compile(self, source: str, name: str = "module") -> CompiledProgram:
+        options = self.options
+        unit = analyze(parse(source))
+        tiled = 0
+        if options.polly:
+            tiled = optimize_unit(unit, options.polly_tile)
+            if tiled:
+                unit = analyze(unit)  # re-resolve the new declarations
+        module = generate_ir(unit, name, verify=options.verify)
+        if options.opt_level >= 2:
+            pipeline = build_o3_pipeline(
+                enable_loop_idiom=options.enable_loop_idiom,
+                enable_inlining=options.enable_inlining,
+                enable_unroll=options.enable_unroll,
+                contract_fma=options.contract_fma,
+            )
+            pipeline.run(module)
+            if options.verify:
+                verify_module(module)
+        asm = None
+        if options.backend == "mpfr":
+            MPFRLoweringPass(
+                reuse_objects=options.reuse_objects,
+                specialize_scalars=options.specialize_scalars,
+                in_place_stores=options.in_place_stores,
+            ).run_module(module)
+            if options.verify:
+                verify_module(module)
+        elif options.backend == "boost":
+            BoostLoweringPass().run_module(module)
+            if options.verify:
+                verify_module(module)
+        elif options.backend == "unum":
+            from ..backends.unum_backend import compile_to_unum
+
+            asm = compile_to_unum(module)
+        return CompiledProgram(module, options, asm=asm, tiled_nests=tiled)
+
+
+def compile_source(source: str, backend: str = "mpfr",
+                   **kwargs) -> CompiledProgram:
+    """One-shot convenience wrapper around :class:`CompilerDriver`."""
+    return CompilerDriver(backend=backend, **kwargs).compile(source)

@@ -1,0 +1,31 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Run them from the command line::
+
+    python -m repro.evaluation table1
+    python -m repro.evaluation table2
+    python -m repro.evaluation table3
+    python -m repro.evaluation fig1
+    python -m repro.evaluation fig2
+    python -m repro.evaluation fig3
+    python -m repro.evaluation all
+
+or via the benchmark harness in ``benchmarks/``.
+"""
+
+from . import fig1, fig2, fig3, table1, table2, table3
+from .harness import (
+    RunOutcome,
+    element_stride,
+    geomean,
+    parse_ftype,
+    residual_error,
+    run_kernel,
+    speedup,
+)
+
+__all__ = [
+    "table1", "table2", "table3", "fig1", "fig2", "fig3",
+    "run_kernel", "RunOutcome", "residual_error", "speedup", "geomean",
+    "parse_ftype", "element_stride",
+]

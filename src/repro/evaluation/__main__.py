@@ -1,0 +1,45 @@
+"""CLI for the evaluation drivers: ``python -m repro.evaluation <exp>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import fig1, fig2, fig3, table1, table2, table3
+
+EXPERIMENTS = {
+    "table1": lambda args: table1.main(),
+    "table2": lambda args: table2.main(),
+    "table3": lambda args: table3.main(),
+    "fig1": lambda args: fig1.main(dataset=args.dataset,
+                                   raja_n=args.raja_n),
+    "fig2": lambda args: fig2.main(dataset=args.dataset),
+    "fig3": lambda args: fig3.main(n=args.cg_n),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--dataset", default="mini",
+                        help="PolyBench dataset class (default: mini)")
+    parser.add_argument("--raja-n", type=int, default=256,
+                        help="RAJAPerf vector length (default: 256)")
+    parser.add_argument("--cg-n", type=int, default=64,
+                        help="CG matrix size (default: 64)")
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ("table1", "table2", "table3", "fig1", "fig2", "fig3"):
+            print(f"\n=== {name} ===\n")
+            EXPERIMENTS[name](args)
+    else:
+        EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

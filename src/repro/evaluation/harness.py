@@ -1,0 +1,188 @@
+"""Shared machinery for the evaluation drivers (Tables I-III, Figs. 1-3).
+
+Compiles workload kernels with a configuration, executes them on the
+matching engine, and extracts exact output arrays from the simulated
+memory so accuracy experiments can compare at full precision.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..bigfloat import BigFloat
+from ..core import CompilerDriver
+from ..runtime import CostReport
+from ..unum import UnumConfig, UnumCoprocessor, decode as unum_decode
+from ..workloads.polybench import KERNELS, source_for
+
+Number = Union[float, BigFloat]
+
+_MPFR_STRUCT_BYTES = 24
+
+
+@dataclass
+class RunOutcome:
+    """One kernel execution: outputs + performance report."""
+
+    kernel: str
+    ftype: str
+    backend: str
+    n: int
+    outputs: List[Number]
+    report: CostReport
+    value: object
+
+
+def parse_ftype(ftype: str) -> Tuple[str, dict]:
+    """Classify an element type string.
+
+    Returns ("double"/"float"/"mpfr"/"unum", params).
+    """
+    if ftype == "double":
+        return "double", {}
+    if ftype == "float":
+        return "float", {}
+    match = re.match(r"vpfloat<\s*mpfr\s*,\s*(\d+)\s*,\s*(\d+)\s*>", ftype)
+    if match:
+        return "mpfr", {"exp": int(match.group(1)),
+                        "prec": int(match.group(2))}
+    match = re.match(
+        r"vpfloat<\s*unum\s*,\s*(\d+)\s*,\s*(\d+)\s*(?:,\s*(\d+)\s*)?>",
+        ftype)
+    if match:
+        size = int(match.group(3)) if match.group(3) else None
+        return "unum", {"ess": int(match.group(1)),
+                        "fss": int(match.group(2)), "size": size}
+    raise ValueError(f"unrecognized element type {ftype!r}")
+
+
+def element_stride(ftype: str, backend: str) -> int:
+    kind, params = parse_ftype(ftype)
+    if kind == "double":
+        return 8
+    if kind == "float":
+        return 4
+    if kind == "unum":
+        return UnumConfig(params["ess"], params["fss"],
+                          params.get("size")).size_bytes
+    # mpfr
+    if backend in ("mpfr", "boost"):
+        return _MPFR_STRUCT_BYTES
+    from ..bigfloat import limb_bytes
+
+    return 24 + limb_bytes(params["prec"])
+
+
+def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
+               polly: bool = False, cache: bool = True,
+               read_outputs: bool = True,
+               coprocessor: Optional[UnumCoprocessor] = None,
+               max_steps: int = 500_000_000, costs=None,
+               **driver_kwargs) -> RunOutcome:
+    """Compile + execute one PolyBench kernel; extract its outputs."""
+    spec = KERNELS[kernel]
+    source = source_for(kernel, ftype)
+    driver = CompilerDriver(backend=backend, polly=polly, **driver_kwargs)
+    program = driver.compile(source, name=f"{kernel}-{backend}")
+    kind, params = parse_ftype(ftype)
+
+    if backend == "unum":
+        if coprocessor is None:
+            config = UnumConfig(params["ess"], params["fss"],
+                                params.get("size"))
+            coprocessor = UnumCoprocessor(wgp=min(512, config.precision))
+        machine = program.machine(cache=cache, coprocessor=coprocessor,
+                                  max_steps=max_steps, costs=costs)
+        value = machine.run("run", [n])
+        report = machine.accounting.report
+        report.cycles += machine.scalar_cycles + machine.coprocessor.cycles
+        report.serial_cycles = report.cycles - report.parallel_cycles
+        outputs: List[Number] = []
+        if read_outputs:
+            outputs = _read_unum_outputs(machine, int(value),
+                                         spec.outputs(n), params)
+        return RunOutcome(kernel, ftype, backend, n, outputs, report, value)
+
+    result = program.run("run", [n], cache=cache, max_steps=max_steps,
+                         costs=costs)
+    outputs = []
+    if read_outputs:
+        outputs = _read_interpreter_outputs(
+            result.interpreter, int(result.value), spec.outputs(n),
+            ftype, backend)
+    return RunOutcome(kernel, ftype, backend, n, outputs, result.report,
+                      result.value)
+
+
+def _read_interpreter_outputs(interpreter, base: int, count: int,
+                              ftype: str, backend: str) -> List[Number]:
+    stride = element_stride(ftype, backend)
+    kind, _params = parse_ftype(ftype)
+    values: List[Number] = []
+    for i in range(count):
+        cell = interpreter.memory.cells.get(base + i * stride)
+        raw = cell[0] if cell is not None else None
+        if raw is None:
+            values.append(0.0)
+        elif hasattr(raw, "value") and hasattr(raw, "prec"):
+            values.append(raw.value)  # MpfrVar handle
+        else:
+            values.append(raw)
+    return values
+
+
+def _read_unum_outputs(machine, base: int, count: int,
+                       params: dict) -> List[Number]:
+    config = UnumConfig(params["ess"], params["fss"], params.get("size"))
+    stride = config.size_bytes
+    values: List[Number] = []
+    for i in range(count):
+        raw = machine.memory.load_bytes(base + i * stride, stride)
+        values.append(unum_decode(int.from_bytes(raw, "little"), config))
+    return values
+
+
+# ----------------------------------------------------------------- #
+# Error metrics
+# ----------------------------------------------------------------- #
+
+def as_bigfloat(x: Number, prec: int = 700) -> BigFloat:
+    if isinstance(x, BigFloat):
+        return x.round_to(prec)
+    return BigFloat.from_float(float(x), prec)
+
+
+def residual_error(outputs: Sequence[Number],
+                   reference: Sequence[Number],
+                   prec: int = 700) -> BigFloat:
+    """max_i |x_i - ref_i| / max(1, max_i |ref_i|) at high precision."""
+    from ..bigfloat import arith
+
+    max_abs_diff = BigFloat.zero(prec)
+    max_abs_ref = BigFloat.from_int(1, prec)
+    for x, ref in zip(outputs, reference):
+        a = as_bigfloat(x, prec)
+        b = as_bigfloat(ref, prec)
+        diff = abs(arith.sub(a, b, prec))
+        if diff.is_nan() or a.is_nan():
+            return BigFloat.nan(prec)
+        if diff > max_abs_diff:
+            max_abs_diff = diff
+        if abs(b) > max_abs_ref:
+            max_abs_ref = abs(b)
+    return arith.div(max_abs_diff, max_abs_ref, prec)
+
+
+def speedup(baseline_cycles: float, cycles: float) -> float:
+    return baseline_cycles / cycles if cycles else float("inf")
+
+
+def geomean(values: Sequence[float]) -> float:
+    import math
+
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in filtered) / len(filtered))

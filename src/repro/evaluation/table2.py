@@ -1,0 +1,71 @@
+"""Table II: UNUM declaration geometry (exponent / precision / size)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..unum import UnumConfig
+
+#: The paper's five sample declarations.
+PAPER_ROWS: Tuple[Tuple[int, int, Optional[int]], ...] = (
+    (3, 6, None),
+    (3, 6, 6),
+    (3, 8, 60),
+    (4, 9, 20),
+    (4, 9, None),
+)
+
+#: Published values (exponent bits, precision bits, size bytes).
+PAPER_VALUES = ((8, 64, 11), (8, 29, 6), (8, 256, 60),
+                (16, 129, 20), (16, 512, 68))
+
+
+@dataclass
+class Table2Row:
+    declaration: str
+    exponent_bits: int
+    precision_bits: int
+    size_bytes: int
+    paper: Tuple[int, int, int]
+
+    @property
+    def matches_paper(self) -> bool:
+        return (self.exponent_bits, self.precision_bits,
+                self.size_bytes) == self.paper
+
+
+def run_table2() -> List[Table2Row]:
+    rows: List[Table2Row] = []
+    for (ess, fss, size), paper in zip(PAPER_ROWS, PAPER_VALUES):
+        config = UnumConfig(ess, fss, size)
+        rows.append(Table2Row(
+            declaration=str(config),
+            exponent_bits=config.exponent_bits,
+            precision_bits=config.fraction_bits,
+            size_bytes=config.size_bytes,
+            paper=paper,
+        ))
+    return rows
+
+
+def format_table2(rows: List[Table2Row]) -> str:
+    lines = ["Table II -- UNUM declarations: exponent/precision/size", ""]
+    header = (f"{'declaration':<28}{'exp(b)':>8}{'prec(b)':>9}"
+              f"{'size(B)':>9}{'paper':>16}{'match':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        paper = "/".join(str(v) for v in row.paper)
+        lines.append(
+            f"{row.declaration:<28}{row.exponent_bits:>8}"
+            f"{row.precision_bits:>9}{row.size_bytes:>9}{paper:>16}"
+            f"{'yes' if row.matches_paper else 'NO':>7}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_table2(run_table2())
+    print(text)
+    return text

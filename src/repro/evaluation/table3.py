@@ -1,0 +1,65 @@
+"""Table III: hex encodings of the FP literal 1.3 across vpfloat types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..bigfloat import from_str
+from ..unum import UnumConfig, chunked_hex, mpfr_literal_bits, paper_literal_bits
+
+#: (kind, params, paper's published string).  Two rows differ from the
+#: paper by one typeset nibble (see EXPERIMENTS.md); fields all match.
+ROWS = (
+    ("unum", (3, 6, 6), "0xV001FE999999A"),
+    ("unum", (4, 9, 20), "0xV99999999999999999999999999990001FFFE"),
+    ("mpfr", (8, 48), "0xY0FF4CCCCCCCCCD"),
+    ("mpfr", (8, 64), "0xY4CCCCCCCCCCCCCCD0FF"),
+    ("mpfr", (16, 100), "0xYCCCCCCCCCCCCCCCCD0FFFF4CCCCCCC"),
+)
+
+
+@dataclass
+class Table3Row:
+    declaration: str
+    encoded: str
+    paper: str
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.encoded == self.paper
+
+
+def run_table3() -> List[Table3Row]:
+    value = from_str("1.3", 700)
+    rows: List[Table3Row] = []
+    for kind, params, paper in ROWS:
+        if kind == "unum":
+            ess, fss, size = params if len(params) == 3 else (*params, None)
+            config = UnumConfig(ess, fss, size)
+            bits = paper_literal_bits(value, config)
+            text = chunked_hex(bits, config.total_bits, "V")
+            decl = str(config)
+        else:
+            exp_bits, prec_bits = params
+            bits = mpfr_literal_bits(value, exp_bits, prec_bits)
+            text = chunked_hex(bits, 1 + exp_bits + prec_bits, "Y")
+            decl = f"vpfloat<mpfr, {exp_bits}, {prec_bits}>"
+        rows.append(Table3Row(decl, text, paper))
+    return rows
+
+
+def format_table3(rows: List[Table3Row]) -> str:
+    lines = ["Table III -- literal 1.3 in different vpfloat types", ""]
+    for row in rows:
+        marker = "(= paper)" if row.matches_paper else "(~ paper, see notes)"
+        lines.append(f"{row.declaration:<24} {row.encoded} {marker}")
+        if not row.matches_paper:
+            lines.append(f"{'':<24} paper: {row.paper}")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    text = format_table3(run_table3())
+    print(text)
+    return text

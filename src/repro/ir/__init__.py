@@ -1,0 +1,96 @@
+"""SSA intermediate representation with first-class vpfloat types.
+
+The repository's LLVM-IR stand-in (DESIGN.md §2): types and constants
+(:mod:`~repro.ir.types`, :mod:`~repro.ir.values`), instructions
+(:mod:`~repro.ir.instructions`), containers plus the vpfloat attribute
+registry (:mod:`~repro.ir.module`), an :class:`IRBuilder`, CFG analyses
+(:mod:`~repro.ir.analysis`) and a structural verifier.
+"""
+
+from .analysis import DominatorTree, Loop, LoopInfo, reverse_postorder
+from .builder import IRBuilder
+from .instructions import (
+    CAST_OPCODES,
+    FCMP_PREDICATES,
+    FP_BINOPS,
+    ICMP_PREDICATES,
+    INT_BINOPS,
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    FNegInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UnreachableInst,
+)
+from .module import (
+    KEEPALIVE_INTRINSIC,
+    BasicBlock,
+    Function,
+    Module,
+    VPFloatAttributeRegistry,
+)
+from .types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    LABEL,
+    MPFR_MAX_EXP_BITS,
+    MPFR_MAX_PREC,
+    MPFR_MIN_PREC,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    IRType,
+    PointerType,
+    StructType,
+    VoidType,
+    VPFloatType,
+    pointer,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantString,
+    ConstantVPFloat,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Module", "Function", "BasicBlock", "IRBuilder",
+    "VPFloatAttributeRegistry", "KEEPALIVE_INTRINSIC",
+    "IRType", "VoidType", "IntType", "FloatType", "PointerType",
+    "ArrayType", "StructType", "FunctionType", "VPFloatType", "pointer",
+    "VOID", "LABEL", "I1", "I8", "I32", "I64", "F32", "F64",
+    "MPFR_MAX_EXP_BITS", "MPFR_MIN_PREC", "MPFR_MAX_PREC",
+    "Value", "Constant", "ConstantInt", "ConstantFloat", "ConstantVPFloat",
+    "ConstantPointerNull", "ConstantString", "UndefValue", "Argument",
+    "GlobalVariable",
+    "Instruction", "AllocaInst", "LoadInst", "StoreInst", "GEPInst",
+    "BinaryInst", "FNegInst", "ICmpInst", "FCmpInst", "CastInst", "PhiInst",
+    "SelectInst", "CallInst", "BranchInst", "RetInst", "UnreachableInst",
+    "INT_BINOPS", "FP_BINOPS", "ICMP_PREDICATES", "FCMP_PREDICATES",
+    "CAST_OPCODES",
+    "DominatorTree", "LoopInfo", "Loop", "reverse_postorder",
+    "verify_module", "verify_function", "VerificationError",
+]

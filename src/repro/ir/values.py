@@ -1,0 +1,187 @@
+"""IR value hierarchy: constants, arguments, globals, def-use tracking.
+
+``Value`` is the LLVM-style base class (the paper represents vpfloat type
+attributes as ``Value`` objects so they can be constants, arguments or
+instructions).  Def-use edges are tracked through ``users``; RAUW
+(`replace_all_uses_with`) also notifies the module's vpfloat attribute
+registry so types stay valid when an attribute is replaced (paper §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .types import IRType, IntType, FloatType, VPFloatType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import Function
+    from ..bigfloat import BigFloat
+
+
+class Value:
+    """Anything that can be an operand: has a type, a name, and users."""
+
+    def __init__(self, type: IRType, name: str = ""):
+        self.type = type
+        self.name = name
+        self.users: List["Instruction"] = []  # noqa: F821 (forward ref)
+
+    def add_user(self, inst) -> None:
+        self.users.append(inst)
+
+    def remove_user(self, inst) -> None:
+        # A user appears once per operand slot it occupies.
+        self.users.remove(inst)
+
+    def replace_all_uses_with(self, new: "Value") -> None:
+        """RAUW: rewrite every user operand, then fix attribute registries."""
+        if new is self:
+            return
+        for user in list(self.users):
+            user.replace_operand(self, new)
+        registry = _find_registry(self)
+        if registry is not None:
+            registry.replace_attribute(self, new)
+
+    def __str__(self) -> str:
+        return f"%{self.name}" if self.name else f"%<unnamed {id(self):x}>"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+def _find_registry(value: Value):
+    """Locate the module attribute registry responsible for ``value``."""
+    func = getattr(value, "parent", None)
+    # Instructions hang off blocks; arguments hang off functions.
+    block_parent = getattr(func, "parent", None)
+    candidates = [func, block_parent, getattr(block_parent, "parent", None)]
+    for c in candidates:
+        registry = getattr(c, "vpfloat_attributes", None)
+        if registry is not None:
+            return registry
+    return None
+
+
+class Constant(Value):
+    """Base of all constants (never tracked by the attribute registry)."""
+
+
+class ConstantInt(Constant):
+    def __init__(self, type: IntType, value: int):
+        super().__init__(type)
+        mask = (1 << type.bits) - 1
+        value &= mask
+        # Canonical signed interpretation.
+        if value >> (type.bits - 1) and type.bits > 1:
+            value -= 1 << type.bits
+        self.value = value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ConstantInt)
+            and other.type == self.type
+            and other.value == self.value
+        )
+
+    def __hash__(self):
+        return hash(("cint", self.type.bits, self.value))
+
+
+class ConstantFloat(Constant):
+    def __init__(self, type: FloatType, value: float):
+        super().__init__(type)
+        self.value = float(value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ConstantFloat)
+            and other.type == self.type
+            and (other.value == self.value
+                 or (other.value != other.value and self.value != self.value))
+        )
+
+    def __hash__(self):
+        return hash(("cfloat", self.type.bits, self.value))
+
+
+class ConstantVPFloat(Constant):
+    """A vpfloat literal (``v``/``y`` suffixed in the C dialect).
+
+    For dynamically-sized types the constant is materialized at the
+    format's maximum configuration and converted at runtime (paper
+    §III-A5, last paragraph); ``value`` stores the maximum-configuration
+    BigFloat either way.
+    """
+
+    def __init__(self, type: VPFloatType, value: "BigFloat"):
+        super().__init__(type)
+        self.value = value
+
+    def __str__(self) -> str:
+        from ..bigfloat import to_str
+
+        suffix = "v" if self.type.format == "unum" else "y"
+        return f"{to_str(self.value, 8)}{suffix}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ConstantVPFloat)
+            and other.type == self.type
+            and other.value.is_nan() == self.value.is_nan()
+            and (other.value.is_nan() or other.value == self.value)
+        )
+
+    def __hash__(self):
+        return hash(("cvp", hash(self.type)))
+
+
+class UndefValue(Constant):
+    def __str__(self) -> str:
+        return "undef"
+
+
+class ConstantPointerNull(Constant):
+    def __str__(self) -> str:
+        return "null"
+
+
+class ConstantString(Constant):
+    """Inline string data (used by print-style runtime calls)."""
+
+    def __init__(self, type: IRType, text: str):
+        super().__init__(type)
+        self.text = text
+
+    def __str__(self) -> str:
+        return f'c"{self.text}"'
+
+
+class Argument(Value):
+    def __init__(self, type: IRType, name: str, parent: Optional["Function"] = None,
+                 index: int = -1):
+        super().__init__(type, name)
+        self.parent = parent
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable; its Value type is a pointer to ``value_type``."""
+
+    def __init__(self, value_type: IRType, name: str,
+                 initializer: Optional[Constant] = None):
+        from .types import PointerType
+
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        self.initializer = initializer
+        self.parent = None  # set by Module.add_global
+
+    def __str__(self) -> str:
+        return f"@{self.name}"

@@ -1,0 +1,39 @@
+"""Frontend for the C dialect with the ``vpfloat`` type extension.
+
+Pipeline: :func:`~repro.lang.lexer.tokenize` ->
+:func:`~repro.lang.parser.parse` -> :func:`~repro.lang.sema.analyze`.
+"""
+
+from . import ast
+from .ctypes import (
+    ArrayT,
+    AttrConst,
+    AttrRef,
+    BOOL,
+    CHAR,
+    CType,
+    DOUBLE,
+    FLOAT,
+    FloatT,
+    INT,
+    IntT,
+    LONG,
+    PointerT,
+    UNSIGNED,
+    VOID,
+    VoidT,
+    VPFloatT,
+    decay,
+)
+from .lexer import Lexer, SourceError, Token, TokenKind, tokenize
+from .parser import Parser, parse
+from .sema import Sema, SemanticError, analyze
+
+__all__ = [
+    "ast", "tokenize", "parse", "analyze",
+    "Lexer", "Parser", "Sema",
+    "Token", "TokenKind", "SourceError", "SemanticError",
+    "CType", "VoidT", "IntT", "FloatT", "VPFloatT", "PointerT", "ArrayT",
+    "AttrConst", "AttrRef", "decay",
+    "VOID", "INT", "UNSIGNED", "LONG", "CHAR", "BOOL", "FLOAT", "DOUBLE",
+]

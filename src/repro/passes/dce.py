@@ -1,0 +1,73 @@
+"""Dead code elimination, aware of the vpfloat attribute registry.
+
+An instruction is removable when it has no users and no side effects.
+Per the paper's §III-B design, a Value serving as a vpfloat type attribute
+must NOT be deleted even when its def-use list is empty -- it is pinned by
+the module's attribute registry (surfaced in IR as the
+``vpfloat.attr.keepalive`` intrinsic).  This pass honors both: the
+registry check, and treating keepalive calls as having side effects.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    AllocaInst,
+    BinaryInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    FNegInst,
+    Function,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+)
+from .pass_manager import FunctionPass
+
+#: Runtime functions with no observable side effects when unused.  Note
+#: ``__sizeof_vpfloat*`` is NOT here: it performs the runtime attribute
+#: validation the paper chose for correctness (§III-A5), and deleting it
+#: would silently skip the check.
+PURE_FUNCTIONS = frozenset({
+    "mpfr_get_d", "mpfr_get_si", "mpfr_cmp", "mpfr_cmp_d",
+})
+
+SIDE_EFFECT_FREE = (BinaryInst, CastInst, ICmpInst, FCmpInst, FNegInst,
+                    GEPInst, SelectInst, PhiInst, LoadInst, AllocaInst)
+
+
+def is_trivially_dead(inst: Instruction, registry=None) -> bool:
+    if inst.users:
+        return False
+    if registry is not None and registry.is_attribute(inst):
+        return False  # pinned: parameterizes a live vpfloat type
+    if isinstance(inst, CallInst):
+        name = getattr(inst.callee, "name", "")
+        return name in PURE_FUNCTIONS
+    if isinstance(inst, AllocaInst):
+        # An alloca with no users is dead even though it "allocates".
+        return True
+    return isinstance(inst, SIDE_EFFECT_FREE)
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    name = "dce"
+
+    def run(self, func: Function) -> int:
+        registry = func.vpfloat_attributes
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for block in func.blocks:
+                for inst in reversed(list(block.instructions)):
+                    if inst.is_terminator:
+                        continue
+                    if is_trivially_dead(inst, registry):
+                        inst.erase_from_parent()
+                        removed += 1
+                        changed = True
+        return removed

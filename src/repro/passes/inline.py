@@ -1,0 +1,279 @@
+"""Inline expansion, extended for dynamically-sized vpfloat types.
+
+Standard bottom-up inlining with the paper's §III-B extension: values
+whose types are vpfloat with attributes bound to *callee arguments* have
+their types **mutated** during cloning so they reference the caller-side
+actual values instead ("Values with dynamically-sized types have their
+types changed (or mutated) in order to comply to the current function
+where they are being used").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir import (
+    AllocaInst,
+    Argument,
+    BasicBlock,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    Constant,
+    FCmpInst,
+    FNegInst,
+    Function,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    Module,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    UndefValue,
+    UnreachableInst,
+    Value,
+    VPFloatType,
+)
+from .pass_manager import ModulePass
+
+#: Don't inline callees bigger than this many instructions.
+DEFAULT_THRESHOLD = 80
+
+
+class InliningPass(ModulePass):
+    name = "inline"
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD):
+        self.threshold = threshold
+
+    def run_module(self, module: Module) -> int:
+        inlined = 0
+        progress = True
+        rounds = 0
+        while progress and rounds < 4:
+            progress = False
+            rounds += 1
+            for func in list(module.functions.values()):
+                if func.is_declaration:
+                    continue
+                for inst in list(func.instructions()):
+                    if not isinstance(inst, CallInst):
+                        continue
+                    callee = inst.callee
+                    if not isinstance(callee, Function) or \
+                            callee.is_declaration:
+                        continue
+                    if not self._should_inline(func, callee):
+                        continue
+                    if inline_call_site(inst):
+                        inlined += 1
+                        progress = True
+                        break  # block list changed; rescan the function
+        return inlined
+
+    def _should_inline(self, caller: Function, callee: Function) -> bool:
+        if callee is caller:
+            return False  # no recursive inlining
+        if "noinline" in callee.attributes:
+            return False
+        if "alwaysinline" in callee.attributes:
+            return True
+        size = sum(len(b.instructions) for b in callee.blocks)
+        return size <= self.threshold
+
+
+def inline_call_site(call: CallInst) -> bool:
+    """Expand one call; returns False when the site cannot be inlined."""
+    caller = call.function
+    callee = call.callee
+    module = caller.parent
+    if any(isinstance(i, UnreachableInst)
+           for i in callee.instructions()):
+        pass  # fine: clones carry over
+
+    # --- Split the block containing the call. ---------------------- #
+    block = call.parent
+    index = block.instructions.index(call)
+    continuation = caller.add_block(f"{callee.name}.cont", after=block)
+    moved = block.instructions[index + 1:]
+    del block.instructions[index + 1:]
+    for inst in moved:
+        inst.parent = continuation
+        continuation.instructions.append(inst)
+    # Successor phis must now see the continuation as predecessor.
+    for succ in continuation.successors():
+        for phi in succ.phis():
+            phi.replace_incoming_block(block, continuation)
+
+    # --- Clone callee blocks. --------------------------------------- #
+    value_map: Dict[int, Value] = {}
+    for arg, actual in zip(callee.args, call.args):
+        value_map[id(arg)] = actual
+    block_map: Dict[BasicBlock, BasicBlock] = {}
+    for callee_block in callee.blocks:
+        clone = caller.add_block(f"{callee.name}.{callee_block.name}",
+                                 after=continuation)
+        block_map[callee_block] = clone
+
+    type_cache: Dict[int, VPFloatType] = {}
+
+    def map_type(type):
+        """Mutate vpfloat types whose attributes reference callee values
+        (the paper's dynamically-sized-type inlining extension)."""
+        if isinstance(type, VPFloatType):
+            cached = type_cache.get(id(type))
+            if cached is not None:
+                return cached
+            attrs = [type.exp_attr, type.prec_attr, type.size_attr]
+            mapped = [
+                value_map.get(id(a), a) if a is not None else None
+                for a in attrs
+            ]
+            if all(m is a for m, a in zip(mapped, attrs)):
+                return type
+            mutated = VPFloatType(type.format, mapped[0], mapped[1],
+                                  mapped[2])
+            module.register_vpfloat_type(mutated)
+            type_cache[id(type)] = mutated
+            return mutated
+        from ..ir import ArrayType, PointerType
+
+        if isinstance(type, PointerType):
+            inner = map_type(type.pointee)
+            return type if inner is type.pointee else PointerType(inner)
+        if isinstance(type, ArrayType):
+            inner = map_type(type.element)
+            return type if inner is type.element else ArrayType(inner,
+                                                                type.count)
+        return type
+
+    def mapped(value: Value) -> Value:
+        if isinstance(value, Constant):
+            if isinstance(value.type, VPFloatType):
+                new_type = map_type(value.type)
+                if new_type is not value.type:
+                    from ..ir import ConstantVPFloat
+
+                    return ConstantVPFloat(new_type, value.value)
+            return value
+        return value_map.get(id(value), value)
+
+    return_sites: List[tuple] = []
+    for callee_block in callee.blocks:
+        clone_block = block_map[callee_block]
+        for inst in callee_block.instructions:
+            if isinstance(inst, RetInst):
+                # Value mapping deferred: the def may be cloned later.
+                return_sites.append((clone_block, inst.value))
+                clone = BranchInst([continuation])
+                clone.parent = clone_block
+                clone_block.instructions.append(clone)
+                continue
+            clone = _clone_instruction(inst, mapped, map_type, block_map,
+                                       caller)
+            clone.parent = clone_block
+            clone_block.instructions.append(clone)
+            value_map[id(inst)] = clone
+
+    # Second pass: fix phi incoming blocks/values (they may reference
+    # later blocks or values).
+    for callee_block in callee.blocks:
+        for inst, clone in zip(callee_block.instructions,
+                               block_map[callee_block].instructions):
+            if isinstance(inst, PhiInst) and isinstance(clone, PhiInst):
+                for value, pred in inst.incoming:
+                    clone.add_incoming(mapped(value), block_map[pred])
+
+    # --- Wire the call block to the cloned entry. ------------------- #
+    entry_clone = block_map[callee.entry]
+    branch = BranchInst([entry_clone])
+    branch.parent = block
+    block.instructions.remove(call)
+    block.instructions.append(branch)
+
+    # --- Return value. ---------------------------------------------- #
+    return_sites = [(site_block, mapped(value) if value is not None else None)
+                    for site_block, value in return_sites]
+    if call.users:
+        if len(return_sites) == 1:
+            result: Optional[Value] = return_sites[0][1]
+        elif return_sites:
+            phi = PhiInst(map_type(call.type))
+            phi.name = caller.unique_name(f"{callee.name}.ret")
+            phi.parent = continuation
+            continuation.instructions.insert(0, phi)
+            for site_block, value in return_sites:
+                phi.add_incoming(
+                    value if value is not None else UndefValue(call.type),
+                    site_block)
+            result = phi
+        else:
+            result = UndefValue(call.type)
+        if result is None:
+            result = UndefValue(call.type)
+        call.replace_all_uses_with(result)
+    call.drop_all_references()
+
+    # Hoist the clone's static allocas into the caller entry so repeated
+    # execution (call inside a loop) does not grow the frame.
+    entry = caller.entry
+    for clone_block in block_map.values():
+        for inst in list(clone_block.instructions):
+            if isinstance(inst, AllocaInst) and inst.count is None and \
+                    clone_block is not entry:
+                clone_block.instructions.remove(inst)
+                inst.parent = entry
+                entry.instructions.insert(0, inst)
+    return True
+
+
+def _clone_instruction(inst: Instruction, mapped, map_type, block_map,
+                       caller: Function) -> Instruction:
+    name = caller.unique_name(inst.name or inst.opcode)
+    if isinstance(inst, BinaryInst):
+        clone = BinaryInst(inst.opcode, mapped(inst.lhs), mapped(inst.rhs))
+    elif isinstance(inst, FNegInst):
+        clone = FNegInst(mapped(inst.operands[0]))
+    elif isinstance(inst, ICmpInst):
+        clone = ICmpInst(inst.predicate, mapped(inst.operands[0]),
+                         mapped(inst.operands[1]))
+    elif isinstance(inst, FCmpInst):
+        clone = FCmpInst(inst.predicate, mapped(inst.operands[0]),
+                         mapped(inst.operands[1]))
+    elif isinstance(inst, CastInst):
+        clone = CastInst(inst.opcode, mapped(inst.source),
+                         map_type(inst.type))
+    elif isinstance(inst, LoadInst):
+        clone = LoadInst(mapped(inst.pointer))
+    elif isinstance(inst, StoreInst):
+        clone = StoreInst(mapped(inst.value), mapped(inst.pointer))
+    elif isinstance(inst, AllocaInst):
+        clone = AllocaInst(map_type(inst.allocated_type),
+                           mapped(inst.count) if inst.count else None)
+    elif isinstance(inst, GEPInst):
+        clone = GEPInst(mapped(inst.pointer),
+                        [mapped(i) for i in inst.indices])
+    elif isinstance(inst, SelectInst):
+        clone = SelectInst(mapped(inst.condition), mapped(inst.true_value),
+                           mapped(inst.false_value))
+    elif isinstance(inst, PhiInst):
+        clone = PhiInst(map_type(inst.type))  # incoming filled later
+    elif isinstance(inst, CallInst):
+        clone = CallInst(inst.callee, [mapped(a) for a in inst.operands],
+                         result_type=map_type(inst.type))
+    elif isinstance(inst, BranchInst):
+        clone = BranchInst([block_map[t] for t in inst.targets],
+                           mapped(inst.condition)
+                           if inst.is_conditional else None)
+    elif isinstance(inst, RetInst):
+        clone = RetInst(mapped(inst.value) if inst.value else None)
+    elif isinstance(inst, UnreachableInst):
+        clone = UnreachableInst()
+    else:
+        raise TypeError(f"cannot clone {inst.opcode}")
+    clone.name = name
+    return clone

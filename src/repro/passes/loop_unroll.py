@@ -1,0 +1,219 @@
+"""Full unrolling of small constant-trip-count loops.
+
+The UNUM backend benefits from unrolling + the register allocator keeping
+g-layer values live across iterations (paper §IV-B: "cache and register
+reuse through polyhedral loop optimization with downstream loop unrolling
+and scalar promotion").  This pass fully unrolls canonical
+``for (i = C0; i cmp C1; i += C2)`` loops whose body is a single block
+and whose trip count is a small constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import (
+    BinaryInst,
+    BranchInst,
+    Constant,
+    ConstantInt,
+    Function,
+    ICmpInst,
+    Instruction,
+    Loop,
+    LoopInfo,
+    PhiInst,
+    Value,
+)
+from .pass_manager import FunctionPass
+from .inline import _clone_instruction
+
+MAX_TRIP = 8
+MAX_BODY = 24
+
+
+class LoopUnrollPass(FunctionPass):
+    name = "loop-unroll"
+
+    def __init__(self, max_trip: int = MAX_TRIP, max_body: int = MAX_BODY):
+        self.max_trip = max_trip
+        self.max_body = max_body
+
+    def run(self, func: Function) -> int:
+        changed = 0
+        # Re-discover loops after each change (the CFG mutates).
+        progress = True
+        while progress:
+            progress = False
+            loopinfo = LoopInfo(func)
+            for loop in loopinfo.innermost():
+                if self._unroll(func, loop):
+                    changed += 1
+                    progress = True
+                    break
+        return changed
+
+    def _unroll(self, func: Function, loop: Loop) -> bool:
+        shape = self._analyze(loop)
+        if shape is None:
+            return False
+        header, body, trip, phis, start_values, step_fn = shape
+        preheader = loop.preheader()
+        if preheader is None:
+            return False
+        exits = loop.exits()
+        if len(exits) != 1:
+            return False
+        exit_block = exits[0]
+        body_size = len(body.instructions) if body is not None else 0
+        if trip * max(body_size, 1) > self.max_trip * self.max_body:
+            return False
+
+        # Current value of each header phi.
+        current: Dict[int, Value] = {
+            id(phi): start for phi, start in zip(phis, start_values)
+        }
+
+        insert_block = preheader
+        insert_point = preheader.instructions.index(
+            preheader.instructions[-1])
+
+        def emit(inst: Instruction) -> Instruction:
+            nonlocal insert_point
+            inst.parent = insert_block
+            insert_block.instructions.insert(insert_point, inst)
+            insert_point += 1
+            return inst
+
+        body_insts = [] if body is None else [
+            i for i in body.instructions if not i.is_terminator
+        ]
+        header_insts = [i for i in header.instructions
+                        if not isinstance(i, PhiInst) and not i.is_terminator]
+
+        last_map: Dict[int, Value] = {}
+        for _ in range(trip):
+            iteration_map: Dict[int, Value] = dict(current)
+
+            def mapped(value: Value) -> Value:
+                if isinstance(value, Constant):
+                    return value
+                return iteration_map.get(id(value), value)
+
+            for inst in header_insts + body_insts:
+                clone = _clone_instruction(inst, mapped, lambda t: t, {},
+                                           func)
+                emit(clone)
+                iteration_map[id(inst)] = clone
+            # Advance the induction phis.
+            for phi in phis:
+                latch_value = step_fn[id(phi)]
+                current[id(phi)] = iteration_map.get(id(latch_value),
+                                                     latch_value) \
+                    if not isinstance(latch_value, Constant) else latch_value
+            last_map = iteration_map
+
+        # Rewire: preheader jumps straight to the exit.
+        preheader.terminator.replace_target(header, exit_block)
+        # Uses of loop values outside the loop: only the phis' final
+        # values are well-defined; replace them.
+        for phi in phis:
+            outside_users = [u for u in list(phi.users)
+                             if u.parent not in loop.blocks]
+            for user in outside_users:
+                user.replace_operand(phi, current[id(phi)])
+        # Non-phi loop values used outside take their final-iteration clone.
+        for inst in header_insts + body_insts:
+            replacement = last_map.get(id(inst))
+            if replacement is None:
+                continue
+            for user in [u for u in list(inst.users)
+                         if u.parent not in loop.blocks]:
+                user.replace_operand(inst, replacement)
+        for phi in exit_block.phis():
+            phi.replace_incoming_block(header, preheader)
+        # The loop body is now unreachable; let SimplifyCFG collect it.
+        return True
+
+    def _analyze(self, loop: Loop) -> Optional[tuple]:
+        header = loop.header
+        blocks = [b for b in loop.blocks if b is not header]
+        if len(blocks) > 1:
+            return None
+        body = blocks[0] if blocks else None
+        if body is not None and body.phis():
+            return None  # body phis would need per-iteration merging
+        term = header.terminator
+        if not isinstance(term, BranchInst) or not term.is_conditional:
+            return None
+        cond = term.condition
+        if not isinstance(cond, ICmpInst):
+            return None
+        if cond.parent is not header:
+            return None
+        phis = header.phis()
+        if not phis:
+            return None
+        # Identify the controlling induction phi and constants.
+        induction = None
+        for phi in phis:
+            if cond.operands[0] is phi and isinstance(cond.operands[1],
+                                                      ConstantInt):
+                induction = phi
+                bound = cond.operands[1].value
+                break
+        else:
+            return None
+        start_values = []
+        step_fn: Dict[int, Value] = {}
+        start = step = None
+        for phi in phis:
+            phi_start = phi_latch = None
+            for value, block in phi.incoming:
+                if block in loop.blocks:
+                    phi_latch = value
+                else:
+                    phi_start = value
+            if phi_start is None or phi_latch is None:
+                return None
+            start_values.append(phi_start)
+            step_fn[id(phi)] = phi_latch
+            if phi is induction:
+                if not isinstance(phi_start, ConstantInt):
+                    return None
+                start = phi_start.value
+                if not isinstance(phi_latch, BinaryInst) or \
+                        phi_latch.opcode != "add":
+                    return None
+                operands = phi_latch.operands
+                if operands[0] is phi and isinstance(operands[1],
+                                                     ConstantInt):
+                    step = operands[1].value
+                elif operands[1] is phi and isinstance(operands[0],
+                                                       ConstantInt):
+                    step = operands[0].value
+                else:
+                    return None
+        if step is None or step <= 0:
+            return None
+        # Any instruction in the body cloned per-iteration must not be a
+        # call with control side effects we cannot replicate (all calls are
+        # fine to clone -- they execute the same number of times).
+        predicate = cond.predicate
+        if predicate in ("slt", "ult"):
+            if start >= bound:
+                trip = 0
+            else:
+                trip = (bound - start + step - 1) // step
+        elif predicate in ("sle", "ule"):
+            trip = 0 if start > bound else (bound - start) // step + 1
+        else:
+            return None
+        if trip < 0 or trip > self.max_trip:
+            return None
+        # The exit must come from the header only.
+        for block in loop.blocks:
+            for succ in block.successors():
+                if succ not in loop.blocks and block is not header:
+                    return None
+        return header, body, trip, phis, start_values, step_fn

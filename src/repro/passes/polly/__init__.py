@@ -1,0 +1,29 @@
+"""Polly-lite: source-level polyhedral loop nest optimization.
+
+The paper's "+Polly" configurations run Polly's polyhedral scheduler over
+the LLVM IR.  This reproduction implements the part of that machinery the
+evaluation exercises -- cache-locality tiling of affine loop nests -- as a
+source-to-source scheduling step over the analyzed AST (a legitimate
+placement: polyhedral schedules are source-level reorderings).
+
+Pipeline position: parse -> sema -> **polly** -> irgen -> -O3 -> backend.
+
+See :mod:`repro.passes.polly.tiling` for the SCoP detection, the
+conservative dependence test, and the rectangular tiling transformation.
+"""
+
+from .tiling import (
+    DEFAULT_TILE,
+    LoopNest,
+    PollyLite,
+    find_tilable_nests,
+    optimize_unit,
+)
+
+__all__ = [
+    "PollyLite",
+    "optimize_unit",
+    "find_tilable_nests",
+    "LoopNest",
+    "DEFAULT_TILE",
+]

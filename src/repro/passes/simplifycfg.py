@@ -1,0 +1,139 @@
+"""CFG simplification: constant branches, block merging, unreachable code."""
+
+from __future__ import annotations
+
+from ..ir import (
+    BranchInst,
+    ConstantInt,
+    Function,
+    PhiInst,
+    reverse_postorder,
+)
+from .pass_manager import FunctionPass
+
+
+class SimplifyCFGPass(FunctionPass):
+    name = "simplifycfg"
+
+    def run(self, func: Function) -> int:
+        changed = 0
+        progress = True
+        while progress:
+            progress = False
+            progress |= self._fold_constant_branches(func)
+            progress |= self._remove_unreachable(func)
+            progress |= self._merge_straightline(func)
+            progress |= self._simplify_trivial_phis(func)
+            if progress:
+                changed += 1
+        return changed
+
+    # -------------------------------------------------------------- #
+
+    def _fold_constant_branches(self, func: Function) -> bool:
+        changed = False
+        for block in func.blocks:
+            term = block.terminator
+            if not isinstance(term, BranchInst) or not term.is_conditional:
+                continue
+            cond = term.condition
+            if isinstance(cond, ConstantInt):
+                taken = term.targets[0] if cond.value else term.targets[1]
+                dead = term.targets[1] if cond.value else term.targets[0]
+                if dead is not taken:
+                    for phi in dead.phis():
+                        phi.remove_incoming(block)
+                new_branch = BranchInst([taken])
+                block.instructions.remove(term)
+                term.drop_all_references()
+                new_branch.parent = block
+                block.instructions.append(new_branch)
+                changed = True
+            elif term.targets[0] is term.targets[1]:
+                target = term.targets[0]
+                new_branch = BranchInst([target])
+                block.instructions.remove(term)
+                term.drop_all_references()
+                new_branch.parent = block
+                block.instructions.append(new_branch)
+                changed = True
+        return changed
+
+    def _remove_unreachable(self, func: Function) -> bool:
+        reachable = set(reverse_postorder(func))
+        doomed = [b for b in func.blocks if b not in reachable]
+        if not doomed:
+            return False
+        for block in doomed:
+            for succ in block.successors():
+                if succ in reachable:
+                    for phi in succ.phis():
+                        try:
+                            phi.remove_incoming(block)
+                        except KeyError:
+                            pass
+            for inst in reversed(list(block.instructions)):
+                inst.replace_all_uses_with(_undef_like(inst))
+                inst.drop_all_references()
+            block.instructions.clear()
+        for block in doomed:
+            func.remove_block(block)
+        return True
+
+    def _merge_straightline(self, func: Function) -> bool:
+        """Merge B into A when A's only successor is B and B's only
+        predecessor is A."""
+        changed = False
+        for block in list(func.blocks):
+            term = block.terminator
+            if not isinstance(term, BranchInst) or term.is_conditional:
+                continue
+            succ = term.targets[0]
+            if succ is block or succ is func.entry:
+                continue
+            preds = succ.predecessors()
+            if len(preds) != 1 or preds[0] is not block:
+                continue
+            if succ.phis():
+                # Single predecessor: phis are trivial, resolve them first.
+                for phi in list(succ.phis()):
+                    phi.replace_all_uses_with(phi.incoming_for_block(block))
+                    phi.drop_all_references()
+                    succ.instructions.remove(phi)
+            block.instructions.remove(term)
+            term.drop_all_references()
+            for inst in succ.instructions:
+                inst.parent = block
+                block.instructions.append(inst)
+            succ.instructions.clear()
+            # Phis in the successors of the merged block must be retargeted.
+            for next_block in block.successors():
+                for phi in next_block.phis():
+                    phi.replace_incoming_block(succ, block)
+            func.remove_block(succ)
+            changed = True
+        return changed
+
+    def _simplify_trivial_phis(self, func: Function) -> bool:
+        changed = False
+        for block in func.blocks:
+            for phi in list(block.phis()):
+                values = set()
+                for value, _ in phi.incoming:
+                    if value is not phi:
+                        values.add(id(value))
+                if len(values) == 1:
+                    only = next(v for v, _ in phi.incoming if v is not phi)
+                    phi.replace_all_uses_with(only)
+                    phi.drop_all_references()
+                    block.instructions.remove(phi)
+                    changed = True
+        return changed
+
+
+def _undef_like(inst):
+    from ..ir import UndefValue, VOID
+
+    if inst.type == VOID:
+        return UndefValue(inst.type)
+    return UndefValue(inst.type)

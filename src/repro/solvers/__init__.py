@@ -1,0 +1,20 @@
+"""Iterative solvers and test matrices (paper §IV-C)."""
+
+from .adaptive import AdaptiveCGResult, AdaptiveStage, adaptive_cg
+from .cg import CGResult, SweepPoint, conjugate_gradient, precision_sweep
+from .matrices import (
+    CSRMatrix,
+    bcsstk20_like,
+    condition_estimate,
+    from_coordinates,
+    load_matrix_market,
+    rhs_for,
+    save_matrix_market,
+)
+
+__all__ = [
+    "conjugate_gradient", "precision_sweep", "CGResult", "SweepPoint",
+    "adaptive_cg", "AdaptiveCGResult", "AdaptiveStage",
+    "CSRMatrix", "from_coordinates", "load_matrix_market",
+    "save_matrix_market", "bcsstk20_like", "rhs_for", "condition_estimate",
+]

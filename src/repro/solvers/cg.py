@@ -1,0 +1,149 @@
+"""Variable-precision Conjugate Gradient (paper §IV-C, Algorithm 1).
+
+The original Hestenes-Stiefel iteration implemented on the precision-
+generic BLAS of :mod:`repro.blas.vblas`: the core loop takes the working
+precision as a parameter, so "every run of the function can make use of a
+different precision value ... without recompilation" -- exactly the
+paper's dynamically-sized-type use case.
+
+:func:`precision_sweep` reproduces Fig. 3: iterations-to-convergence and
+modeled execution time as functions of precision, including the paper's
+observed *increase* of runtime past the plateau (per-iteration cost keeps
+growing with the word count while iterations stop improving).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..bigfloat import BigFloat, arith
+from ..blas.vblas import (
+    BlasOps,
+    Vector,
+    vaxpy,
+    vcopy,
+    vdot,
+    vfrom,
+    vgemv,
+    vzero,
+)
+from .matrices import CSRMatrix
+
+
+@dataclass
+class CGResult:
+    """One CG solve."""
+
+    x: Vector
+    iterations: int
+    converged: bool
+    precision: int
+    residual_norm: BigFloat
+    residual_history: List[float] = field(default_factory=list)
+    ops: BlasOps = field(default_factory=BlasOps)
+
+    def modeled_cycles(self, per_op_temp: bool = False,
+                       overhead_factor: float = 1.0) -> float:
+        """Execution-time model: BLAS op tally x MPFR cost at this
+        precision (+ optional Boost-style per-op temporaries, + a
+        language-runtime overhead factor for the Julia comparison)."""
+        return self.ops.cycles(self.precision,
+                               per_op_temp=per_op_temp) * overhead_factor
+
+
+def conjugate_gradient(matrix: CSRMatrix, b: Sequence[float],
+                       precision: int,
+                       tolerance: float = 1e-10,
+                       max_iterations: Optional[int] = None,
+                       x0: Optional[Vector] = None) -> CGResult:
+    """Algorithm 1 of the paper at ``precision`` bits of significand."""
+    n = matrix.nrows
+    if max_iterations is None:
+        max_iterations = 20 * n
+    prec = precision
+    ops = BlasOps()
+    one = BigFloat.from_int(1, prec)
+    minus_one = BigFloat.from_int(-1, prec)
+    zero = BigFloat.zero(prec)
+
+    bv = vfrom(list(b), prec)
+    x = x0[:] if x0 is not None else vzero(n, prec)
+    # r0 = b - A x0
+    ax = vgemv(prec, one, matrix, x, zero, vzero(n, prec), ops)
+    r = vaxpy(prec, minus_one, ax, bv, ops)
+    p = vcopy(r, prec, ops)
+    rr = vdot(prec, r, r, ops)
+    tol = BigFloat.from_float(tolerance, prec)
+    history: List[float] = []
+
+    iterations = 0
+    converged = False
+    residual_norm = arith.sqrt(rr, prec)
+    history.append(residual_norm.to_float())
+    if residual_norm <= tol:
+        converged = True
+    while not converged and iterations < max_iterations:
+        ap = vgemv(prec, one, matrix, p, zero, vzero(n, prec), ops)
+        pap = vdot(prec, p, ap, ops)
+        if pap.is_zero() or pap.is_nan() or pap.sign == 1:
+            break  # loss of positive-definiteness at this precision
+        alpha = arith.div(rr, pap, prec)
+        ops.divs += 1
+        x = vaxpy(prec, alpha, p, x, ops)
+        r = vaxpy(prec, -alpha, ap, r, ops)
+        rr_next = vdot(prec, r, r, ops)
+        residual_norm = arith.sqrt(rr_next, prec)
+        ops.sqrts += 1
+        history.append(residual_norm.to_float())
+        iterations += 1
+        if residual_norm <= tol:
+            converged = True
+            break
+        if rr.is_zero():
+            break
+        beta = arith.div(rr_next, rr, prec)
+        ops.divs += 1
+        p = vaxpy(prec, beta, p, r, ops)  # p_{k+1} = r_{k+1} + beta*p_k
+        rr = rr_next
+    return CGResult(x=x, iterations=iterations, converged=converged,
+                    precision=prec, residual_norm=residual_norm,
+                    residual_history=history, ops=ops)
+
+
+@dataclass
+class SweepPoint:
+    precision: int
+    iterations: int
+    converged: bool
+    cycles_vpfloat: float
+    cycles_boost: float
+    cycles_julia: float
+    final_residual: float
+
+
+def precision_sweep(matrix: CSRMatrix, b: Sequence[float],
+                    precisions: Sequence[int],
+                    tolerance: float = 1e-10,
+                    max_iterations: Optional[int] = None,
+                    julia_overhead: float = 9.0) -> List[SweepPoint]:
+    """Fig. 3: iterations + modeled runtime over a precision sweep.
+
+    ``julia_overhead`` models the dynamic-typing/GC overhead the paper
+    measures against Julia (">9x" slower than vpfloat at the same
+    operation count).  Boost time adds per-operation temporaries."""
+    points: List[SweepPoint] = []
+    for prec in precisions:
+        result = conjugate_gradient(matrix, b, prec, tolerance,
+                                    max_iterations)
+        points.append(SweepPoint(
+            precision=prec,
+            iterations=result.iterations,
+            converged=result.converged,
+            cycles_vpfloat=result.modeled_cycles(),
+            cycles_boost=result.modeled_cycles(per_op_temp=True),
+            cycles_julia=result.modeled_cycles(
+                overhead_factor=julia_overhead),
+            final_residual=result.residual_norm.to_float(),
+        ))
+    return points

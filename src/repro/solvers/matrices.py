@@ -1,0 +1,196 @@
+"""Sparse matrices: CSR storage, Matrix Market I/O, bcsstk20 stand-in.
+
+The paper's Fig. 3 runs CG on *bcsstk20* from the Matrix Market
+collection -- a 485x485 symmetric positive-definite stiffness matrix with
+condition number about 3.9e12.  That file is not redistributable here, so
+:func:`bcsstk20_like` deterministically synthesizes a matrix with the
+properties CG cares about (SPD, banded stiffness structure, and a huge
+spectral spread), scaled to a simulator-friendly size.  A real ``.mtx``
+file can be loaded with :func:`load_matrix_market` instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed sparse row matrix of doubles."""
+
+    nrows: int
+    ncols: int
+    indptr: List[int]
+    indices: List[int]
+    data: List[float]
+
+    def row(self, i: int) -> Iterable[Tuple[int, float]]:
+        start, end = self.indptr[i], self.indptr[i + 1]
+        return zip(self.indices[start:end], self.data[start:end])
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    def to_dense(self) -> List[List[float]]:
+        dense = [[0.0] * self.ncols for _ in range(self.nrows)]
+        for i in range(self.nrows):
+            for j, a in self.row(i):
+                dense[i][j] = a
+        return dense
+
+    def matvec(self, x: List[float]) -> List[float]:
+        result = []
+        for i in range(self.nrows):
+            acc = 0.0
+            for j, a in self.row(i):
+                acc += a * x[j]
+            result.append(acc)
+        return result
+
+
+def from_coordinates(nrows: int, ncols: int,
+                     entries: Dict[Tuple[int, int], float]) -> CSRMatrix:
+    indptr = [0]
+    indices: List[int] = []
+    data: List[float] = []
+    for i in range(nrows):
+        row_entries = sorted((j, v) for (r, j), v in entries.items()
+                             if r == i)
+        for j, v in row_entries:
+            indices.append(j)
+            data.append(v)
+        indptr.append(len(indices))
+    return CSRMatrix(nrows, ncols, indptr, indices, data)
+
+
+# ----------------------------------------------------------------- #
+# Matrix Market (coordinate real symmetric/general)
+# ----------------------------------------------------------------- #
+
+def load_matrix_market(path: str) -> CSRMatrix:
+    """Parse a MatrixMarket ``.mtx`` coordinate file."""
+    symmetric = False
+    entries: Dict[Tuple[int, int], float] = {}
+    nrows = ncols = None
+    with open(path) as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a MatrixMarket file")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise ValueError("only coordinate format is supported")
+        symmetric = "symmetric" in tokens
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            if nrows is None:
+                nrows, ncols = int(parts[0]), int(parts[1])
+                continue
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            value = float(parts[2]) if len(parts) > 2 else 1.0
+            entries[(i, j)] = value
+            if symmetric and i != j:
+                entries[(j, i)] = value
+    if nrows is None:
+        raise ValueError("missing size line")
+    return from_coordinates(nrows, ncols, entries)
+
+
+def save_matrix_market(matrix: CSRMatrix, path: str,
+                       comment: str = "") -> None:
+    """Write the lower triangle as coordinate real symmetric."""
+    with open(path, "w") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        if comment:
+            handle.write(f"% {comment}\n")
+        lower = [(i, j, v) for i in range(matrix.nrows)
+                 for j, v in matrix.row(i) if j <= i]
+        handle.write(f"{matrix.nrows} {matrix.ncols} {len(lower)}\n")
+        for i, j, v in lower:
+            handle.write(f"{i + 1} {j + 1} {v!r}\n")
+
+
+# ----------------------------------------------------------------- #
+# The bcsstk20 stand-in
+# ----------------------------------------------------------------- #
+
+def _lcg(seed: int):
+    state = seed & 0xFFFFFFFF
+
+    def next_float() -> float:
+        nonlocal state
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        return state / 0x7FFFFFFF
+
+    return next_float
+
+
+def bcsstk20_like(n: int = 64, condition: float = 1e12,
+                  bandwidth: int = 3, seed: int = 20) -> CSRMatrix:
+    """Synthetic SPD stiffness-style matrix with spectral spread
+    ~``condition`` (DESIGN.md substitution for bcsstk20).
+
+    Construction: a banded SPD base (discrete 1-D stiffness chain) whose
+    per-node stiffness coefficients sweep log-uniformly over
+    ``condition`` decades -- just like the beam-element stiffness matrix
+    bcsstk20, whose extreme element stiffness ratios are what make it
+    ill-conditioned.
+    """
+    rand = _lcg(seed)
+    decades = math.log10(condition)
+    stiffness = []
+    for i in range(n + 1):
+        exponent = (i / n) * decades
+        jitter = 0.5 + rand()
+        stiffness.append(jitter * 10.0 ** exponent)
+    entries: Dict[Tuple[int, int], float] = {}
+    for i in range(n):
+        diag = stiffness[i] + stiffness[i + 1]
+        entries[(i, i)] = diag
+        for off in range(1, bandwidth):
+            j = i + off
+            if j >= n:
+                continue
+            coupling = -stiffness[min(i, j) + 1] / (off + 1)
+            entries[(i, j)] = coupling
+            entries[(j, i)] = coupling
+    # Diagonal boost for strict positive definiteness under the band fill.
+    for i in range(n):
+        row_sum = sum(abs(v) for (r, c), v in entries.items()
+                      if r == i and c != i)
+        if entries[(i, i)] <= row_sum:
+            entries[(i, i)] = row_sum * 1.01 + 1.0
+    return from_coordinates(n, n, entries)
+
+
+def rhs_for(matrix: CSRMatrix, seed: int = 7) -> List[float]:
+    """A deterministic right-hand side with unit-scale entries."""
+    rand = _lcg(seed)
+    return [rand() * 2.0 - 1.0 for _ in range(matrix.nrows)]
+
+
+def condition_estimate(matrix: CSRMatrix, iterations: int = 200) -> float:
+    """Rough 2-norm condition estimate via power iteration on A and a
+    Gershgorin-style lower bound (diagnostic only)."""
+    n = matrix.nrows
+    x = [1.0 / math.sqrt(n)] * n
+    lam_max = 0.0
+    for _ in range(iterations):
+        y = matrix.matvec(x)
+        norm = math.sqrt(sum(v * v for v in y))
+        if norm == 0:
+            break
+        x = [v / norm for v in y]
+        lam_max = norm
+    lam_min = min(matrix.data[matrix.indptr[i]:matrix.indptr[i + 1]]
+                  [list(matrix.indices[matrix.indptr[i]:
+                                       matrix.indptr[i + 1]]).index(i)]
+                  - sum(abs(v) for j, v in matrix.row(i) if j != i)
+                  for i in range(n))
+    lam_min = max(lam_min, 1e-300)
+    return lam_max / lam_min

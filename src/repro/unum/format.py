@@ -1,0 +1,317 @@
+"""UNUM type-I memory format used by the coprocessor backend.
+
+The paper's hardware (Bocco et al. [9]) stores values in a UNUM layout
+whose geometry is fixed per *type configuration*: the ``ess``/``fss``
+attributes of a ``vpfloat<unum, ess, fss[, size]>`` declaration choose
+
+- exponent width  ``es = 2**ess`` bits (ess in 1..4 -> 2..16 bits),
+- fraction width  ``fs = min(2**fss, size*8 - (2 + es + ess + fss))``
+  (fss in 1..9 -> up to 512 bits), and
+- total size  ``ceil((2 + es + 2**fss + ess + fss) / 8)`` bytes when no
+  ``size`` attribute truncates the fraction (paper Table II).
+
+Bit layout, MSB to LSB::
+
+    [ sign:1 | ubit:1 | es-1:ess | fs-1:fss | exponent:es | fraction:fs ]
+
+The exponent is biased IEEE-style (bias ``2**(es-1) - 1``); an all-zero
+exponent field encodes subnormals, all-ones encodes inf/NaN.  The ubit
+(interval uncertainty) is carried but the paper's backend leaves interval
+arithmetic aside, so it is always 0 for computed values.
+
+:func:`paper_literal_bits` additionally reproduces the *literal display
+convention* of paper Table III, where the utag fields are left zero
+("properly set later in the compilation flow") and the exponent is biased
+against the maximum exponent value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bigfloat import BigFloat, Kind, RNDN, RoundingMode, round_significand
+
+#: Architectural limits of the target ISA (paper §III-A2).
+ESS_MIN, ESS_MAX = 1, 4
+FSS_MIN, FSS_MAX = 1, 9
+SIZE_MIN, SIZE_MAX = 1, 68
+
+
+class UnumConfigError(ValueError):
+    """A vpfloat<unum,...> attribute is outside the ISA's limits."""
+
+
+@dataclass(frozen=True)
+class UnumConfig:
+    """Geometry of a UNUM storage format: ``vpfloat<unum, ess, fss[, size]>``."""
+
+    ess: int
+    fss: int
+    size: int | None = None  # maximum bytes (the optional size-info)
+
+    def __post_init__(self):
+        if not ESS_MIN <= self.ess <= ESS_MAX:
+            raise UnumConfigError(
+                f"ess must be in {ESS_MIN}..{ESS_MAX}, got {self.ess}"
+            )
+        if not FSS_MIN <= self.fss <= FSS_MAX:
+            raise UnumConfigError(
+                f"fss must be in {FSS_MIN}..{FSS_MAX}, got {self.fss}"
+            )
+        if self.size is not None:
+            if not SIZE_MIN <= self.size <= SIZE_MAX:
+                raise UnumConfigError(
+                    f"size must be in {SIZE_MIN}..{SIZE_MAX} bytes, got {self.size}"
+                )
+            if self.fraction_bits < 1:
+                raise UnumConfigError(
+                    f"size {self.size} leaves no fraction bits for "
+                    f"ess={self.ess}, fss={self.fss}"
+                )
+
+    # ------------------------------------------------------------ #
+    # Geometry (paper Table II)
+    # ------------------------------------------------------------ #
+
+    @property
+    def exponent_bits(self) -> int:
+        """Exponent field width in bits (2**ess)."""
+        return 1 << self.ess
+
+    @property
+    def max_fraction_bits(self) -> int:
+        """Unbounded fraction width (2**fss)."""
+        return 1 << self.fss
+
+    @property
+    def tag_bits(self) -> int:
+        """sign + ubit + es-1 field + fs-1 field."""
+        return 2 + self.ess + self.fss
+
+    @property
+    def fraction_bits(self) -> int:
+        """Fraction width after any size-info truncation."""
+        full = self.max_fraction_bits
+        if self.size is None:
+            return full
+        budget = self.size * 8 - (self.tag_bits + self.exponent_bits)
+        return min(full, budget)
+
+    @property
+    def precision(self) -> int:
+        """Significand precision including the hidden bit."""
+        return self.fraction_bits + 1
+
+    @property
+    def total_bits(self) -> int:
+        return self.tag_bits + self.exponent_bits + self.fraction_bits
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes occupied in memory (paper Table II 'size' column)."""
+        if self.size is not None:
+            return self.size
+        return (self.total_bits + 7) // 8
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_biased_exponent(self) -> int:
+        return (1 << self.exponent_bits) - 1
+
+    def __str__(self) -> str:
+        if self.size is None:
+            return f"vpfloat<unum, {self.ess}, {self.fss}>"
+        return f"vpfloat<unum, {self.ess}, {self.fss}, {self.size}>"
+
+
+def sizeof_vpfloat(ess: int, fss: int, size: int | None = None) -> int:
+    """``__sizeof_vpfloat`` runtime entry: validate attributes, return bytes.
+
+    This is the function the compiler emits for every dynamically-sized
+    unum declaration (paper §III-A5): it checks the attribute ranges and
+    yields the stack-allocation size.
+    """
+    return UnumConfig(ess, fss, size).size_bytes
+
+
+# ----------------------------------------------------------------- #
+# Encode / decode
+# ----------------------------------------------------------------- #
+
+def encode(value: BigFloat, config: UnumConfig,
+           rm: RoundingMode = RNDN) -> int:
+    """Pack a BigFloat into the UNUM bit pattern (rounding to the format).
+
+    Overflow saturates to infinity; magnitudes below the subnormal range
+    flush toward zero under the rounding mode.
+    """
+    es, fs = config.exponent_bits, config.fraction_bits
+    tag = _utag(config, ubit=0)
+    exp_all_ones = config.max_biased_exponent
+
+    if value.is_nan():
+        # NaN: all-ones exponent, nonzero fraction (MSB set).
+        return _pack(config, 0, tag, exp_all_ones, 1 << max(0, fs - 1))
+    if value.is_inf():
+        return _pack(config, value.sign, tag, exp_all_ones, 0)
+    if value.is_zero():
+        return _pack(config, value.sign, tag, 0, 0)
+
+    prec = fs + 1
+    mant, exp, _ = round_significand(value.sign, value.mant, value.exp, prec, rm)
+    unbiased = exp + prec - 1  # value in [2**unbiased, 2**(unbiased+1))
+    biased = unbiased + config.bias
+    if biased >= exp_all_ones:
+        return _pack(config, value.sign, tag, exp_all_ones, 0)  # overflow->inf
+    if biased <= 0:
+        # Subnormal: fraction scaled by 2**(1 - bias - prec + 1).
+        shift = 1 - biased
+        full = mant  # prec bits incl. hidden
+        if shift >= prec + 2:
+            frac = 0
+            sticky = True
+        else:
+            frac = full >> shift
+            sticky = bool(full & ((1 << shift) - 1))
+        if sticky and _round_up_subnormal(rm, value.sign, full, shift):
+            frac += 1
+            if frac >> fs:  # rounded up into the normal range
+                return _pack(config, value.sign, tag, 1, 0)
+        if frac == 0:
+            return _pack(config, value.sign, tag, 0, 0)
+        return _pack(config, value.sign, tag, 0, frac)
+    frac = mant - (1 << (prec - 1))  # drop hidden bit
+    return _pack(config, value.sign, tag, biased, frac)
+
+
+def _round_up_subnormal(rm: RoundingMode, sign: int, full: int, shift: int) -> bool:
+    low = full & ((1 << shift) - 1)
+    half = 1 << (shift - 1)
+    from ..bigfloat.rounding import _should_increment
+
+    return _should_increment(rm, sign, bool((full >> shift) & 1), low, half, False)
+
+
+def decode(bits: int, config: UnumConfig) -> BigFloat:
+    """Unpack a UNUM bit pattern into an exact BigFloat."""
+    es, fs = config.exponent_bits, config.fraction_bits
+    frac = bits & ((1 << fs) - 1)
+    biased = (bits >> fs) & ((1 << es) - 1)
+    sign = (bits >> (fs + es + config.ess + self_fss_bits(config) + 1)) & 1
+    prec = fs + 1
+    if biased == config.max_biased_exponent:
+        if frac:
+            return BigFloat.nan(prec)
+        return BigFloat.inf(prec, sign)
+    if biased == 0:
+        if frac == 0:
+            return BigFloat.zero(prec, sign)
+        # Subnormal: frac * 2**(1 - bias - fs)
+        mant, exp, _ = round_significand(sign, frac, 1 - config.bias - fs, prec)
+        return BigFloat(Kind.FINITE, sign, mant, exp, prec)
+    mant = frac | (1 << fs)
+    exp = (biased - config.bias) - fs
+    mant_n, exp_n, _ = round_significand(sign, mant, exp, prec)
+    return BigFloat(Kind.FINITE, sign, mant_n, exp_n, prec)
+
+
+def self_fss_bits(config: UnumConfig) -> int:
+    return config.fss
+
+
+def _utag(config: UnumConfig, ubit: int) -> int:
+    """Pack ubit and the es-1 / fs-1 descriptor fields."""
+    es_m1 = config.exponent_bits - 1
+    fs_m1 = config.fraction_bits - 1
+    # The fs-1 field is fss bits wide; truncated formats still fit because
+    # fraction_bits <= 2**fss.
+    return (ubit << (config.ess + config.fss)) | (es_m1 << config.fss) | fs_m1
+
+
+def _pack(config: UnumConfig, sign: int, tag: int, biased_exp: int,
+          frac: int) -> int:
+    es, fs = config.exponent_bits, config.fraction_bits
+    return (
+        (sign << (1 + config.ess + config.fss + es + fs))
+        | (tag << (es + fs))
+        | (biased_exp << fs)
+        | frac
+    )
+
+
+def extract_fields(bits: int, config: UnumConfig) -> dict:
+    """Explode a bit pattern into named fields (debugging / tests)."""
+    es, fs = config.exponent_bits, config.fraction_bits
+    frac = bits & ((1 << fs) - 1)
+    biased = (bits >> fs) & ((1 << es) - 1)
+    fs_m1 = (bits >> (fs + es)) & ((1 << config.fss) - 1)
+    es_m1 = (bits >> (fs + es + config.fss)) & ((1 << config.ess) - 1)
+    ubit = (bits >> (fs + es + config.fss + config.ess)) & 1
+    sign = (bits >> (fs + es + config.fss + config.ess + 1)) & 1
+    return {
+        "sign": sign,
+        "ubit": ubit,
+        "es_minus_1": es_m1,
+        "fs_minus_1": fs_m1,
+        "biased_exponent": biased,
+        "fraction": frac,
+    }
+
+
+# ----------------------------------------------------------------- #
+# Paper Table III literal display convention
+# ----------------------------------------------------------------- #
+
+def paper_literal_bits(value: BigFloat, config: UnumConfig) -> int:
+    """Encode a literal using the paper's Table III display convention.
+
+    The utag fields (ubit, es-1, fs-1) are left zero -- the paper's
+    footnote explains they are "only properly set later in the compilation
+    flow" -- and the exponent is biased against the maximum exponent value
+    (stored = unbiased + 2**es - 1), which reproduces the published hex
+    patterns, e.g. ``vpfloat<unum,3,6,6>`` of 1.3 -> ``0x001FE999999A``.
+    """
+    if not value.is_finite() or value.is_zero():
+        raise ValueError("paper literal encoding is defined for finite nonzero")
+    es, fs = config.exponent_bits, config.fraction_bits
+    prec = fs + 1
+    mant, exp, _ = round_significand(value.sign, value.mant, value.exp, prec)
+    unbiased = exp + prec - 1
+    stored = unbiased + ((1 << es) - 1)
+    frac = mant - (1 << (prec - 1))
+    return (value.sign << (config.tag_bits - 1 + es + fs)) | (stored << fs) | frac
+
+
+def mpfr_literal_bits(value: BigFloat, exp_bits: int, prec_bits: int) -> int:
+    """Encode a ``vpfloat<mpfr, e, p>`` literal per Table III.
+
+    Layout ``[sign][biased exponent][fraction]`` with the same
+    maximum-value bias, e.g. ``vpfloat<mpfr,8,48>`` of 1.3 ->
+    ``0x0FF4CCCCCCCCCD``.
+    """
+    if not value.is_finite() or value.is_zero():
+        raise ValueError("paper literal encoding is defined for finite nonzero")
+    prec = prec_bits + 1
+    mant, exp, _ = round_significand(value.sign, value.mant, value.exp, prec)
+    unbiased = exp + prec - 1
+    stored = unbiased + ((1 << exp_bits) - 1)
+    frac = mant - (1 << (prec - 1))
+    return (value.sign << (exp_bits + prec_bits)) | (stored << prec_bits) | frac
+
+
+def chunked_hex(bits: int, total_bits: int, prefix: str) -> str:
+    """Render as the paper does: 64-bit chunks, last chunk holds sign/fields."""
+    chunks = []
+    remaining = bits
+    width = total_bits
+    while width > 64:
+        chunks.append(f"{remaining & ((1 << 64) - 1):016X}")
+        remaining >>= 64
+        width -= 64
+    hex_digits = (width + 3) // 4
+    chunks.append(f"{remaining:0{hex_digits}X}")
+    # Paper's tables print the low chunk first for multi-chunk values.
+    return "0x" + prefix + "".join(chunks)

@@ -1,0 +1,115 @@
+"""The coprocessor's internal g-layer arithmetic.
+
+Bocco's UNUM coprocessor decodes memory-format UNUMs into a wide internal
+"g-layer" (general layer) format and computes there at the Working G-layer
+Precision (WGP, paper §III-C2).  Results are rounded to WGP bits after
+every operation, then re-encoded on store according to the current
+ess/fss/MBB configuration.
+
+We model a g-layer value as a :class:`BigFloat` at ``wgp`` bits; the
+:class:`GLayerUnit` wraps the correctly-rounded kernels and reports the
+cycle cost of each operation (mantissa-word-serial datapath, 64-bit words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bigfloat import BigFloat, arith
+
+#: Highest precision the ISA supports (fss = 9 -> 512 fraction bits).
+MAX_WGP = 512
+
+
+class GLayerError(ValueError):
+    """Invalid WGP or g-layer operand."""
+
+
+@dataclass(frozen=True)
+class GCycleModel:
+    """Cycle costs of the scalar g-layer datapath.
+
+    The unit is word-serial over 64-bit mantissa chunks: an add streams
+    both mantissas once; a multiply is quadratic in words (schoolbook
+    multiplier array, one partial row per cycle); division/sqrt are
+    digit-recurrence, linear in result bits with a per-word constant.
+    Defaults approximate the SMURF accelerator's reported latencies.
+    """
+
+    add_base: int = 3
+    add_per_word: int = 1
+    mul_base: int = 4
+    mul_per_word_sq: int = 1
+    div_base: int = 8
+    div_per_bit: float = 0.25
+    sqrt_base: int = 10
+    sqrt_per_bit: float = 0.33
+    cmp_cost: int = 2
+    mov_cost: int = 1
+    cvt_cost: int = 3
+
+    def words(self, wgp: int) -> int:
+        return (wgp + 63) // 64
+
+    def add(self, wgp: int) -> int:
+        return self.add_base + self.add_per_word * self.words(wgp)
+
+    def mul(self, wgp: int) -> int:
+        w = self.words(wgp)
+        return self.mul_base + self.mul_per_word_sq * w * w
+
+    def div(self, wgp: int) -> int:
+        return self.div_base + int(self.div_per_bit * wgp)
+
+    def sqrt(self, wgp: int) -> int:
+        return self.sqrt_base + int(self.sqrt_per_bit * wgp)
+
+    def fma(self, wgp: int) -> int:
+        return self.mul(wgp) + self.add_per_word * self.words(wgp)
+
+
+class GLayerUnit:
+    """Functional + timing model of the g-layer ALU at a given WGP."""
+
+    def __init__(self, wgp: int = 128, cycle_model: GCycleModel | None = None):
+        self.cycle_model = cycle_model or GCycleModel()
+        self.set_wgp(wgp)
+        self.cycles = 0
+
+    def set_wgp(self, wgp: int) -> None:
+        if not 1 <= wgp <= MAX_WGP:
+            raise GLayerError(f"WGP must be in 1..{MAX_WGP}, got {wgp}")
+        self.wgp = wgp
+
+    # Each op rounds to WGP and accrues cycles.
+    def add(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        self.cycles += self.cycle_model.add(self.wgp)
+        return arith.add(a, b, self.wgp)
+
+    def sub(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        self.cycles += self.cycle_model.add(self.wgp)
+        return arith.sub(a, b, self.wgp)
+
+    def mul(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        self.cycles += self.cycle_model.mul(self.wgp)
+        return arith.mul(a, b, self.wgp)
+
+    def div(self, a: BigFloat, b: BigFloat) -> BigFloat:
+        self.cycles += self.cycle_model.div(self.wgp)
+        return arith.div(a, b, self.wgp)
+
+    def sqrt(self, a: BigFloat) -> BigFloat:
+        self.cycles += self.cycle_model.sqrt(self.wgp)
+        return arith.sqrt(a, self.wgp)
+
+    def fma(self, a: BigFloat, b: BigFloat, c: BigFloat) -> BigFloat:
+        self.cycles += self.cycle_model.fma(self.wgp)
+        return arith.fma(a, b, c, self.wgp)
+
+    def neg(self, a: BigFloat) -> BigFloat:
+        self.cycles += self.cycle_model.mov_cost
+        return arith.neg(a, self.wgp)
+
+    def cmp(self, a: BigFloat, b: BigFloat) -> int:
+        self.cycles += self.cycle_model.cmp_cost
+        return a.compare(b)

@@ -1,0 +1,164 @@
+"""Posit (type-III unum) format support — the grammar's third format.
+
+The paper's grammar reserves ``vpfloat<posit, ...>`` "with the
+possibility of adding new formats or representations as they are
+proposed" (§III-A1).  This module adds that format to the toolchain:
+``vpfloat<posit, es, nbits>`` maps *exp-info* to the exponent field size
+``es`` and *prec-info* to the total width ``nbits``.
+
+Standard posit encoding (Gustafson & Yonemoto):
+
+- ``0`` is zero, ``1000...0`` is NaR (not-a-real);
+- negative patterns are two's complements of their absolute value;
+- positive patterns: ``[0 | regime | es exponent bits | fraction]``
+  where a regime of ``m`` ones (terminated by 0) means ``k = m - 1`` and
+  ``m`` zeros (terminated by 1) means ``k = -m``; the represented value
+  is ``(1 + f) * 2**(k * 2**es + e)`` — *tapered* precision: values near
+  1 get the most fraction bits.
+
+Because unsigned pattern order equals value order for positive posits,
+correct posit rounding (round to nearest, ties to even pattern, never to
+zero/NaR, saturate at minpos/maxpos) reduces to integer rounding of an
+unbounded "ideal" pattern — which is how :func:`posit_encode` works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bigfloat import BigFloat, Kind
+from ..bigfloat.rounding import round_significand
+
+
+class PositConfigError(ValueError):
+    """Attributes outside the supported posit geometry."""
+
+
+@dataclass(frozen=True)
+class PositConfig:
+    """Geometry of ``vpfloat<posit, es, nbits>``."""
+
+    es: int
+    nbits: int
+
+    def __post_init__(self):
+        if not 0 <= self.es <= 4:
+            raise PositConfigError(f"posit es must be in 0..4, got {self.es}")
+        if not 3 <= self.nbits <= 64:
+            raise PositConfigError(
+                f"posit nbits must be in 3..64, got {self.nbits}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.nbits + 7) // 8
+
+    @property
+    def max_fraction_bits(self) -> int:
+        """Fraction bits of values with the shortest regime (near 1)."""
+        return max(0, self.nbits - 3 - self.es)
+
+    @property
+    def useed_log2(self) -> int:
+        return 1 << self.es
+
+    @property
+    def nar_pattern(self) -> int:
+        return 1 << (self.nbits - 1)
+
+    @property
+    def maxpos_pattern(self) -> int:
+        return (1 << (self.nbits - 1)) - 1
+
+    def __str__(self) -> str:
+        return f"vpfloat<posit, {self.es}, {self.nbits}>"
+
+
+def posit_encode(value: BigFloat, config: PositConfig) -> int:
+    """Round a BigFloat to the nearest posit and return its bit pattern."""
+    n = config.nbits
+    if value.is_zero():
+        return 0
+    if value.is_nan() or value.is_inf():
+        return config.nar_pattern
+    sign = value.sign
+    magnitude = abs(value)
+
+    scale = magnitude.exponent() - 1  # |v| = m * 2**scale, m in [1, 2)
+    k, e = divmod(scale, config.useed_log2)
+
+    # Ideal unbounded pattern: sign(0) | regime | exponent | fraction.
+    if k >= 0:
+        regime_bits = k + 2
+        regime_value = (1 << (k + 2)) - 2  # k+1 ones then a zero
+    else:
+        regime_bits = -k + 1
+        regime_value = 1  # -k zeros then a one
+    frac_width = magnitude.prec - 1
+    fraction = magnitude.mant - (1 << frac_width)  # drop the hidden bit
+    ideal_width = 1 + regime_bits + config.es + frac_width
+    ideal = (regime_value << (config.es + frac_width)) \
+        | (e << frac_width) | fraction
+
+    if ideal_width <= n:
+        pattern = ideal << (n - ideal_width)
+    else:
+        # Integer RNE on the pattern == posit rounding (pattern order is
+        # value order for positive posits).
+        shift = ideal_width - n
+        low = ideal & ((1 << shift) - 1)
+        pattern = ideal >> shift
+        half = 1 << (shift - 1)
+        if low > half or (low == half and (pattern & 1)):
+            pattern += 1
+    # Saturate: never round to zero, NaR, or beyond maxpos.
+    pattern = max(1, min(pattern, config.maxpos_pattern))
+    if sign:
+        pattern = (-pattern) & ((1 << n) - 1)
+    return pattern
+
+
+def posit_decode(bits: int, config: PositConfig) -> BigFloat:
+    """Exact BigFloat value of a posit bit pattern."""
+    n = config.nbits
+    bits &= (1 << n) - 1
+    if bits == 0:
+        return BigFloat.zero(max(2, config.max_fraction_bits + 1))
+    if bits == config.nar_pattern:
+        return BigFloat.nan(max(2, config.max_fraction_bits + 1))
+    sign = (bits >> (n - 1)) & 1
+    if sign:
+        bits = (-bits) & ((1 << n) - 1)
+
+    # Regime: run length from bit n-2 downward.
+    position = n - 2
+    lead = (bits >> position) & 1
+    run = 0
+    while position >= 0 and ((bits >> position) & 1) == lead:
+        run += 1
+        position -= 1
+    position -= 1  # skip the terminating bit (may fall off the end)
+    k = (run - 1) if lead else -run
+
+    exponent = 0
+    es_taken = 0
+    while es_taken < config.es and position >= 0:
+        exponent = (exponent << 1) | ((bits >> position) & 1)
+        position -= 1
+        es_taken += 1
+    exponent <<= (config.es - es_taken)  # truncated bits read as zero
+
+    frac_width = max(0, position + 1)  # regime may consume every bit
+    fraction = bits & ((1 << frac_width) - 1) if frac_width > 0 else 0
+
+    scale = k * config.useed_log2 + exponent
+    prec = frac_width + 1
+    mant = (1 << frac_width) | fraction
+    mant_n, exp_n, _ = round_significand(sign, mant, scale - frac_width,
+                                         prec)
+    return BigFloat(Kind.FINITE, sign, mant_n, exp_n, prec)
+
+
+def posit_round(value: BigFloat, config: PositConfig) -> BigFloat:
+    """Round to the nearest representable posit (tapered rounding)."""
+    return posit_decode(posit_encode(value, config), config)

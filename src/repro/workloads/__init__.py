@@ -1,0 +1,32 @@
+"""Benchmark workloads: PolyBench and RAJAPerf ports in the dialect."""
+
+from .polybench import (
+    DATASET_ORDER,
+    DATASETS,
+    FIG1_KERNELS,
+    FIG2_HW_FAILURES,
+    FIG2_KERNELS,
+    KERNELS,
+    KernelSpec,
+    TABLE1_KERNELS,
+    source_for,
+    vpfloat_mpfr_type,
+    vpfloat_unum_type,
+)
+from .rajaperf import (
+    DEFAULT_N,
+    OMP_VARIANTS,
+    PAPER_THREADS,
+    RAJA_KERNELS,
+    VARIANTS,
+    RajaKernel,
+    raja_source,
+)
+
+__all__ = [
+    "KERNELS", "KernelSpec", "source_for", "DATASETS", "DATASET_ORDER",
+    "TABLE1_KERNELS", "FIG1_KERNELS", "FIG2_KERNELS", "FIG2_HW_FAILURES",
+    "vpfloat_mpfr_type", "vpfloat_unum_type",
+    "RAJA_KERNELS", "RajaKernel", "raja_source",
+    "VARIANTS", "OMP_VARIANTS", "PAPER_THREADS", "DEFAULT_N",
+]

@@ -1,0 +1,1101 @@
+"""PolyBench kernels written in the vpfloat C dialect.
+
+Faithful (flattened-index) ports of the PolyBench 4.1 kernels the paper
+evaluates (Figs. 1-2, Table I), templated over the element type:
+
+- ``FTYPE`` expands to a vpfloat type, ``double`` or ``float``;
+- ``SQRT(x)`` expands to ``vp_sqrt``/``sqrt`` accordingly;
+- every kernel ships with a deterministic PolyBench-style initializer and
+  a ``run(n)`` driver that allocates (heap) buffers, runs the kernel, and
+  returns the output base pointer so harnesses can read exact results.
+
+Dataset classes follow the PolyBench naming but are scaled to simulator-
+friendly sizes (documented in EXPERIMENTS.md): the accuracy and locality
+*trends* across classes are what Table I / Fig. 1 exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Dataset class -> problem size, per dimensionality of the kernel's
+#: iteration space (so cubic kernels stay tractable in the interpreter).
+DATASETS: Dict[str, Dict[int, int]] = {
+    "mini":   {1: 64,  2: 16, 3: 8},
+    "small":  {1: 128, 2: 24, 3: 12},
+    "medium": {1: 256, 2: 32, 3: 16},
+    "large":  {1: 512, 2: 48, 3: 24},
+    "xlarge": {1: 1024, 2: 64, 3: 32},
+}
+
+DATASET_ORDER = ("mini", "small", "medium", "large", "xlarge")
+
+
+@dataclass
+class KernelSpec:
+    """One benchmark kernel."""
+
+    name: str
+    source: str
+    #: Dimensionality class used to pick N for a dataset label.
+    dims: int = 2
+    #: Number of output elements produced by run(n), as a function of n.
+    output_count: str = "n*n"
+    #: Extra note (e.g. paper-reported behaviour).
+    note: str = ""
+
+    def instantiate(self, ftype: str) -> str:
+        if ftype.startswith("vpfloat"):
+            sqrt_fn, fabs_fn = "vp_sqrt", "vp_fabs"
+        else:
+            sqrt_fn, fabs_fn = "sqrt", "fabs"
+        return (self.source
+                .replace("FTYPE", ftype)
+                .replace("SQRT", sqrt_fn)
+                .replace("FABS", fabs_fn))
+
+    def size_for(self, dataset: str) -> int:
+        return DATASETS[dataset][self.dims]
+
+    def outputs(self, n: int) -> int:
+        return eval(self.output_count, {"n": n})  # noqa: S307 - trusted
+
+
+KERNELS: Dict[str, KernelSpec] = {}
+
+
+def _kernel(name: str, source: str, dims: int = 2,
+            output_count: str = "n*n", note: str = "") -> None:
+    KERNELS[name] = KernelSpec(name=name, source=source, dims=dims,
+                               output_count=output_count, note=note)
+
+
+# ----------------------------------------------------------------- #
+# Linear algebra: BLAS-like
+# ----------------------------------------------------------------- #
+
+_kernel("gemm", r"""
+void kernel_gemm(int n, FTYPE *C, FTYPE *A, FTYPE *B,
+                 FTYPE alpha, FTYPE beta) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      C[i*n+j] = beta * C[i*n+j];
+  for (int i = 0; i < n; i++)
+    for (int k = 0; k < n; k++)
+      for (int j = 0; j < n; j++)
+        C[i*n+j] = C[i*n+j] + alpha * A[i*n+k] * B[k*n+j];
+}
+
+long run(int n) {
+  FTYPE C[n*n];
+  FTYPE A[n*n];
+  FTYPE B[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      C[i*n+j] = (double)((i*j+1) % n) / n;
+      A[i*n+j] = (double)(i*(j+1) % n) / n;
+      B[i*n+j] = (double)(i*(j+2) % n) / n;
+    }
+  kernel_gemm(n, C, A, B, 1.5, 1.2);
+  for (int i = 0; i < n*n; i++) out[i] = C[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("2mm", r"""
+void kernel_2mm(int n, FTYPE *tmp, FTYPE *A, FTYPE *B, FTYPE *C, FTYPE *D,
+                FTYPE alpha, FTYPE beta) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      FTYPE acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc = acc + alpha * A[i*n+k] * B[k*n+j];
+      tmp[i*n+j] = acc;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      FTYPE acc = beta * D[i*n+j];
+      for (int k = 0; k < n; k++)
+        acc = acc + tmp[i*n+k] * C[k*n+j];
+      D[i*n+j] = acc;
+    }
+}
+
+long run(int n) {
+  FTYPE tmp[n*n]; FTYPE A[n*n]; FTYPE B[n*n]; FTYPE C[n*n]; FTYPE D[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j+1) % n) / n;
+      B[i*n+j] = (double)((i*(j+1)+2) % n) / n;
+      C[i*n+j] = (double)((i*(j+3)+1) % n) / n;
+      D[i*n+j] = (double)((i*(j+2)) % n) / n;
+    }
+  kernel_2mm(n, tmp, A, B, C, D, 1.5, 1.2);
+  for (int i = 0; i < n*n; i++) out[i] = D[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("3mm", r"""
+void kernel_3mm(int n, FTYPE *E, FTYPE *A, FTYPE *B, FTYPE *F, FTYPE *C,
+                FTYPE *D, FTYPE *G) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      FTYPE acc = 0.0;
+      for (int k = 0; k < n; k++) acc = acc + A[i*n+k] * B[k*n+j];
+      E[i*n+j] = acc;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      FTYPE acc = 0.0;
+      for (int k = 0; k < n; k++) acc = acc + C[i*n+k] * D[k*n+j];
+      F[i*n+j] = acc;
+    }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      FTYPE acc = 0.0;
+      for (int k = 0; k < n; k++) acc = acc + E[i*n+k] * F[k*n+j];
+      G[i*n+j] = acc;
+    }
+}
+
+long run(int n) {
+  FTYPE E[n*n]; FTYPE A[n*n]; FTYPE B[n*n]; FTYPE F[n*n];
+  FTYPE C[n*n]; FTYPE D[n*n]; FTYPE G[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j+1) % n) / (5*n);
+      B[i*n+j] = (double)((i*(j+1)+2) % n) / (5*n);
+      C[i*n+j] = (double)(i*(j+3) % n) / (5*n);
+      D[i*n+j] = (double)((i*(j+2)+2) % n) / (5*n);
+    }
+  kernel_3mm(n, E, A, B, F, C, D, G);
+  for (int i = 0; i < n*n; i++) out[i] = G[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("atax", r"""
+void kernel_atax(int n, FTYPE *A, FTYPE *x, FTYPE *y, FTYPE *tmp) {
+  for (int i = 0; i < n; i++) y[i] = 0.0;
+  for (int i = 0; i < n; i++) {
+    FTYPE acc = 0.0;
+    for (int j = 0; j < n; j++)
+      acc = acc + A[i*n+j] * x[j];
+    tmp[i] = acc;
+    for (int j = 0; j < n; j++)
+      y[j] = y[j] + A[i*n+j] * tmp[i];
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE x[n]; FTYPE y[n]; FTYPE tmp[n];
+  FTYPE *out = (FTYPE*)malloc(n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    x[i] = 1.0 + (double)i / n;
+    for (int j = 0; j < n; j++)
+      A[i*n+j] = (double)((i+j) % n) / (5*n);
+  }
+  kernel_atax(n, A, x, y, tmp);
+  for (int i = 0; i < n; i++) out[i] = y[i];
+  return (long)out;
+}
+""", dims=2, output_count="n")
+
+_kernel("bicg", r"""
+void kernel_bicg(int n, FTYPE *A, FTYPE *s, FTYPE *q, FTYPE *p, FTYPE *r) {
+  for (int i = 0; i < n; i++) s[i] = 0.0;
+  for (int i = 0; i < n; i++) {
+    q[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      s[j] = s[j] + r[i] * A[i*n+j];
+      q[i] = q[i] + A[i*n+j] * p[j];
+    }
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE s[n]; FTYPE q[n]; FTYPE p[n]; FTYPE r[n];
+  FTYPE *out = (FTYPE*)malloc(2*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    p[i] = (double)(i % n) / n;
+    r[i] = (double)((i+1) % n) / n;
+    for (int j = 0; j < n; j++)
+      A[i*n+j] = (double)((i*(j+1)) % n) / n;
+  }
+  kernel_bicg(n, A, s, q, p, r);
+  for (int i = 0; i < n; i++) { out[i] = s[i]; out[n+i] = q[i]; }
+  return (long)out;
+}
+""", dims=2, output_count="2*n")
+
+_kernel("mvt", r"""
+void kernel_mvt(int n, FTYPE *x1, FTYPE *x2, FTYPE *y1, FTYPE *y2,
+                FTYPE *A) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x1[i] = x1[i] + A[i*n+j] * y1[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x2[i] = x2[i] + A[j*n+i] * y2[j];
+}
+
+long run(int n) {
+  FTYPE x1[n]; FTYPE x2[n]; FTYPE y1[n]; FTYPE y2[n]; FTYPE A[n*n];
+  FTYPE *out = (FTYPE*)malloc(2*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    x1[i] = (double)(i % n) / n;
+    x2[i] = (double)((i+1) % n) / n;
+    y1[i] = (double)((i+3) % n) / n;
+    y2[i] = (double)((i+4) % n) / n;
+    for (int j = 0; j < n; j++)
+      A[i*n+j] = (double)((i*j) % n) / n;
+  }
+  kernel_mvt(n, x1, x2, y1, y2, A);
+  for (int i = 0; i < n; i++) { out[i] = x1[i]; out[n+i] = x2[i]; }
+  return (long)out;
+}
+""", dims=2, output_count="2*n")
+
+_kernel("gemver", r"""
+void kernel_gemver(int n, FTYPE alpha, FTYPE beta, FTYPE *A, FTYPE *u1,
+                   FTYPE *v1, FTYPE *u2, FTYPE *v2, FTYPE *w, FTYPE *x,
+                   FTYPE *y, FTYPE *z) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      A[i*n+j] = A[i*n+j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      x[i] = x[i] + beta * A[j*n+i] * y[j];
+  for (int i = 0; i < n; i++)
+    x[i] = x[i] + z[i];
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      w[i] = w[i] + alpha * A[i*n+j] * x[j];
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE u1[n]; FTYPE v1[n]; FTYPE u2[n]; FTYPE v2[n];
+  FTYPE w[n]; FTYPE x[n]; FTYPE y[n]; FTYPE z[n];
+  FTYPE *out = (FTYPE*)malloc(n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    u1[i] = (double)i / n; v1[i] = (double)(i+1) / (2*n);
+    u2[i] = (double)(i+2) / (3*n); v2[i] = (double)(i+3) / (4*n);
+    w[i] = 0.0; x[i] = 0.0;
+    y[i] = (double)(i+4) / (5*n); z[i] = (double)(i+5) / (6*n);
+    for (int j = 0; j < n; j++)
+      A[i*n+j] = (double)(i*j % n) / n;
+  }
+  kernel_gemver(n, 1.5, 1.2, A, u1, v1, u2, v2, w, x, y, z);
+  for (int i = 0; i < n; i++) out[i] = w[i];
+  return (long)out;
+}
+""", dims=2, output_count="n")
+
+_kernel("gesummv", r"""
+void kernel_gesummv(int n, FTYPE alpha, FTYPE beta, FTYPE *A, FTYPE *B,
+                    FTYPE *tmp, FTYPE *x, FTYPE *y) {
+  for (int i = 0; i < n; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      tmp[i] = A[i*n+j] * x[j] + tmp[i];
+      y[i] = B[i*n+j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE B[n*n]; FTYPE tmp[n]; FTYPE x[n]; FTYPE y[n];
+  FTYPE *out = (FTYPE*)malloc(n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    x[i] = (double)(i % n) / n;
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j+1) % n) / n;
+      B[i*n+j] = (double)((i*j+2) % n) / n;
+    }
+  }
+  kernel_gesummv(n, 1.5, 1.2, A, B, tmp, x, y);
+  for (int i = 0; i < n; i++) out[i] = y[i];
+  return (long)out;
+}
+""", dims=2, output_count="n",
+        note="paper: failed on coprocessor hardware when compiled with Polly")
+
+_kernel("syrk", r"""
+void kernel_syrk(int n, FTYPE alpha, FTYPE beta, FTYPE *C, FTYPE *A) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j <= i; j++)
+      C[i*n+j] = beta * C[i*n+j];
+  for (int i = 0; i < n; i++)
+    for (int k = 0; k < n; k++)
+      for (int j = 0; j <= i; j++)
+        C[i*n+j] = C[i*n+j] + alpha * A[i*n+k] * A[j*n+k];
+}
+
+long run(int n) {
+  FTYPE C[n*n]; FTYPE A[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j+1) % n) / n;
+      C[i*n+j] = (double)((i+j+2) % n) / n;
+    }
+  kernel_syrk(n, 1.5, 1.2, C, A);
+  for (int i = 0; i < n*n; i++) out[i] = C[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("syr2k", r"""
+void kernel_syr2k(int n, FTYPE alpha, FTYPE beta, FTYPE *C, FTYPE *A,
+                  FTYPE *B) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j <= i; j++)
+      C[i*n+j] = beta * C[i*n+j];
+  for (int i = 0; i < n; i++)
+    for (int k = 0; k < n; k++)
+      for (int j = 0; j <= i; j++)
+        C[i*n+j] = C[i*n+j] + A[j*n+k]*alpha*B[i*n+k]
+                   + B[j*n+k]*alpha*A[i*n+k];
+}
+
+long run(int n) {
+  FTYPE C[n*n]; FTYPE A[n*n]; FTYPE B[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j+1) % n) / n;
+      B[i*n+j] = (double)((i*j+2) % n) / n;
+      C[i*n+j] = (double)((i+j+3) % n) / n;
+    }
+  kernel_syr2k(n, 1.5, 1.2, C, A, B);
+  for (int i = 0; i < n*n; i++) out[i] = C[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("trmm", r"""
+void kernel_trmm(int n, FTYPE alpha, FTYPE *A, FTYPE *B) {
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      for (int k = i + 1; k < n; k++)
+        B[i*n+j] = B[i*n+j] + A[k*n+i] * B[k*n+j];
+      B[i*n+j] = alpha * B[i*n+j];
+    }
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE B[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i+j) % n) / n;
+      B[i*n+j] = (double)((n+i-j) % n) / n;
+    }
+  kernel_trmm(n, 1.5, A, B);
+  for (int i = 0; i < n*n; i++) out[i] = B[i];
+  return (long)out;
+}
+""", dims=3)
+
+# ----------------------------------------------------------------- #
+# Data mining
+# ----------------------------------------------------------------- #
+
+_kernel("covariance", r"""
+void kernel_covariance(int n, FTYPE *data, FTYPE *cov, FTYPE *mean) {
+  for (int j = 0; j < n; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      mean[j] = mean[j] + data[i*n+j];
+    mean[j] = mean[j] / (double)n;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      data[i*n+j] = data[i*n+j] - mean[j];
+  for (int i = 0; i < n; i++)
+    for (int j = i; j < n; j++) {
+      FTYPE acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc = acc + data[k*n+i] * data[k*n+j];
+      acc = acc / (double)(n - 1);
+      cov[i*n+j] = acc;
+      cov[j*n+i] = acc;
+    }
+}
+
+long run(int n) {
+  FTYPE data[n*n]; FTYPE cov[n*n]; FTYPE mean[n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      data[i*n+j] = (double)(i*j % n) / n + (double)i / (n+1);
+  kernel_covariance(n, data, cov, mean);
+  for (int i = 0; i < n*n; i++) out[i] = cov[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("correlation", r"""
+void kernel_correlation(int n, FTYPE *data, FTYPE *corr, FTYPE *mean,
+                        FTYPE *stddev) {
+  FTYPE eps = 0.1;
+  for (int j = 0; j < n; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      mean[j] = mean[j] + data[i*n+j];
+    mean[j] = mean[j] / (double)n;
+  }
+  for (int j = 0; j < n; j++) {
+    stddev[j] = 0.0;
+    for (int i = 0; i < n; i++)
+      stddev[j] = stddev[j] + (data[i*n+j] - mean[j])
+                              * (data[i*n+j] - mean[j]);
+    stddev[j] = SQRT(stddev[j] / (double)n);
+    if (stddev[j] <= eps) stddev[j] = 1.0;
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      data[i*n+j] = (data[i*n+j] - mean[j])
+                    / (SQRT((double)n) * stddev[j]);
+  for (int i = 0; i < n - 1; i++) {
+    corr[i*n+i] = 1.0;
+    for (int j = i + 1; j < n; j++) {
+      FTYPE acc = 0.0;
+      for (int k = 0; k < n; k++)
+        acc = acc + data[k*n+i] * data[k*n+j];
+      corr[i*n+j] = acc;
+      corr[j*n+i] = acc;
+    }
+  }
+  corr[(n-1)*n + (n-1)] = 1.0;
+}
+
+long run(int n) {
+  FTYPE data[n*n]; FTYPE corr[n*n]; FTYPE mean[n]; FTYPE stddev[n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      data[i*n+j] = (double)(i*j % n) / n + (double)(i+j) / (2*n);
+      corr[i*n+j] = 0.0;
+    }
+  kernel_correlation(n, data, corr, mean, stddev);
+  for (int i = 0; i < n*n; i++) out[i] = corr[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("gramschmidt", r"""
+void kernel_gramschmidt(int n, FTYPE *A, FTYPE *R, FTYPE *Q) {
+  for (int k = 0; k < n; k++) {
+    FTYPE nrm = 0.0;
+    for (int i = 0; i < n; i++)
+      nrm = nrm + A[i*n+k] * A[i*n+k];
+    R[k*n+k] = SQRT(nrm);
+    for (int i = 0; i < n; i++)
+      Q[i*n+k] = A[i*n+k] / R[k*n+k];
+    for (int j = k + 1; j < n; j++) {
+      R[k*n+j] = 0.0;
+      for (int i = 0; i < n; i++)
+        R[k*n+j] = R[k*n+j] + Q[i*n+k] * A[i*n+j];
+      for (int i = 0; i < n; i++)
+        A[i*n+j] = A[i*n+j] - Q[i*n+k] * R[k*n+j];
+    }
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE R[n*n]; FTYPE Q[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j % n) + 1) / (2*n) + 0.001 * (double)(i + 2*j);
+      R[i*n+j] = 0.0;
+      Q[i*n+j] = 0.0;
+    }
+  kernel_gramschmidt(n, A, R, Q);
+  for (int i = 0; i < n*n; i++) out[i] = R[i];
+  return (long)out;
+}
+""", dims=3,
+        note="paper Table I: numerically unstable at IEEE 32/64")
+
+# ----------------------------------------------------------------- #
+# Solvers / factorizations
+# ----------------------------------------------------------------- #
+
+_kernel("cholesky", r"""
+void kernel_cholesky(int n, FTYPE *A) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i*n+j] = A[i*n+j] - A[i*n+k] * A[j*n+k];
+      A[i*n+j] = A[i*n+j] / A[j*n+j];
+    }
+    for (int k = 0; k < i; k++)
+      A[i*n+i] = A[i*n+i] - A[i*n+k] * A[i*n+k];
+    A[i*n+i] = SQRT(A[i*n+i]);
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++)
+      A[i*n+j] = 0.0;
+    for (int j = 0; j <= i; j++)
+      A[i*n+j] = (double)((-j % n) + n) / n + 1.0;
+    A[i*n+i] = A[i*n+i] + (double)n * 2.0;
+  }
+  // Make symmetric positive definite: A = B*B^T shape via diagonal boost.
+  kernel_cholesky(n, A);
+  for (int i = 0; i < n*n; i++) out[i] = A[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("lu", r"""
+void kernel_lu(int n, FTYPE *A) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i*n+j] = A[i*n+j] - A[i*n+k] * A[k*n+j];
+      A[i*n+j] = A[i*n+j] / A[j*n+j];
+    }
+    for (int j = i; j < n; j++)
+      for (int k = 0; k < i; k++)
+        A[i*n+j] = A[i*n+j] - A[i*n+k] * A[k*n+j];
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j+1) % n) / n;
+      if (i == j) A[i*n+j] = A[i*n+j] + (double)n;
+    }
+  kernel_lu(n, A);
+  for (int i = 0; i < n*n; i++) out[i] = A[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("ludcmp", r"""
+void kernel_ludcmp(int n, FTYPE *A, FTYPE *b, FTYPE *x, FTYPE *y) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < i; j++) {
+      FTYPE w = A[i*n+j];
+      for (int k = 0; k < j; k++)
+        w = w - A[i*n+k] * A[k*n+j];
+      A[i*n+j] = w / A[j*n+j];
+    }
+    for (int j = i; j < n; j++) {
+      FTYPE w = A[i*n+j];
+      for (int k = 0; k < i; k++)
+        w = w - A[i*n+k] * A[k*n+j];
+      A[i*n+j] = w;
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    FTYPE w = b[i];
+    for (int j = 0; j < i; j++)
+      w = w - A[i*n+j] * y[j];
+    y[i] = w;
+  }
+  for (int i = n - 1; i >= 0; i--) {
+    FTYPE w = y[i];
+    for (int j = i + 1; j < n; j++)
+      w = w - A[i*n+j] * x[j];
+    x[i] = w / A[i*n+i];
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE b[n]; FTYPE x[n]; FTYPE y[n];
+  FTYPE *out = (FTYPE*)malloc(n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    b[i] = (double)(i+1) / (2*n) + 4.0;
+    x[i] = 0.0; y[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)((i*j+1) % n) / n;
+      if (i == j) A[i*n+j] = A[i*n+j] + (double)(2*n);
+    }
+  }
+  kernel_ludcmp(n, A, b, x, y);
+  for (int i = 0; i < n; i++) out[i] = x[i];
+  return (long)out;
+}
+""", dims=3, output_count="n",
+        note="paper: failed on hardware at max precision with Polly")
+
+_kernel("trisolv", r"""
+void kernel_trisolv(int n, FTYPE *L, FTYPE *x, FTYPE *b) {
+  for (int i = 0; i < n; i++) {
+    x[i] = b[i];
+    for (int j = 0; j < i; j++)
+      x[i] = x[i] - L[i*n+j] * x[j];
+    x[i] = x[i] / L[i*n+i];
+  }
+}
+
+long run(int n) {
+  FTYPE L[n*n]; FTYPE x[n]; FTYPE b[n];
+  FTYPE *out = (FTYPE*)malloc(n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    b[i] = (double)i / n;
+    for (int j = 0; j < n; j++)
+      L[i*n+j] = (double)((i+n-j+1)*2) / n;
+    L[i*n+i] = L[i*n+i] + 1.0;
+  }
+  kernel_trisolv(n, L, x, b);
+  for (int i = 0; i < n; i++) out[i] = x[i];
+  return (long)out;
+}
+""", dims=2, output_count="n")
+
+_kernel("durbin", r"""
+void kernel_durbin(int n, FTYPE *r, FTYPE *y) {
+  FTYPE z[n];
+  y[0] = 0.0 - r[0];
+  FTYPE beta = 1.0;
+  FTYPE alpha = 0.0 - r[0];
+  for (int k = 1; k < n; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    FTYPE sum = 0.0;
+    for (int i = 0; i < k; i++)
+      sum = sum + r[k-i-1] * y[i];
+    alpha = (FTYPE)0.0 - (r[k] + sum) / beta;
+    for (int i = 0; i < k; i++)
+      z[i] = y[i] + alpha * y[k-i-1];
+    for (int i = 0; i < k; i++)
+      y[i] = z[i];
+    y[k] = alpha;
+  }
+}
+
+long run(int n) {
+  FTYPE r[n]; FTYPE y[n];
+  FTYPE *out = (FTYPE*)malloc(n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    r[i] = (double)(n + 1 - i) / (2*n);
+  kernel_durbin(n, r, y);
+  for (int i = 0; i < n; i++) out[i] = y[i];
+  return (long)out;
+}
+""", dims=2, output_count="n")
+
+# ----------------------------------------------------------------- #
+# Stencils
+# ----------------------------------------------------------------- #
+
+_kernel("jacobi-1d", r"""
+void kernel_jacobi_1d(int tsteps, int n, FTYPE *A, FTYPE *B) {
+  for (int t = 0; t < tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+    for (int i = 1; i < n - 1; i++)
+      A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);
+  }
+}
+
+long run(int n) {
+  FTYPE A[n]; FTYPE B[n];
+  FTYPE *out = (FTYPE*)malloc(n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    A[i] = ((double)i + 2.0) / n;
+    B[i] = ((double)i + 3.0) / n;
+  }
+  kernel_jacobi_1d(20, n, A, B);
+  for (int i = 0; i < n; i++) out[i] = A[i];
+  return (long)out;
+}
+""", dims=1, output_count="n",
+        note="paper: performance similar to Boost at low precision")
+
+_kernel("jacobi-2d", r"""
+void kernel_jacobi_2d(int tsteps, int n, FTYPE *A, FTYPE *B) {
+  for (int t = 0; t < tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        B[i*n+j] = 0.2 * (A[i*n+j] + A[i*n+j-1] + A[i*n+j+1]
+                          + A[(i+1)*n+j] + A[(i-1)*n+j]);
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        A[i*n+j] = 0.2 * (B[i*n+j] + B[i*n+j-1] + B[i*n+j+1]
+                          + B[(i+1)*n+j] + B[(i-1)*n+j]);
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n]; FTYPE B[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      A[i*n+j] = (double)i * (j+2) / n;
+      B[i*n+j] = (double)i * (j+3) / n;
+    }
+  kernel_jacobi_2d(8, n, A, B);
+  for (int i = 0; i < n*n; i++) out[i] = A[i];
+  return (long)out;
+}
+""", dims=2)
+
+_kernel("seidel-2d", r"""
+void kernel_seidel_2d(int tsteps, int n, FTYPE *A) {
+  for (int t = 0; t < tsteps; t++)
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1]
+                    + A[i*n+j-1] + A[i*n+j] + A[i*n+j+1]
+                    + A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1])
+                   / 9.0;
+}
+
+long run(int n) {
+  FTYPE A[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      A[i*n+j] = ((double)i * (j+2) + 2.0) / n;
+  kernel_seidel_2d(6, n, A);
+  for (int i = 0; i < n*n; i++) out[i] = A[i];
+  return (long)out;
+}
+""", dims=2)
+
+_kernel("adi", r"""
+void kernel_adi(int tsteps, int n, FTYPE *u, FTYPE *v, FTYPE *p, FTYPE *q) {
+  FTYPE DX = 1.0 / (double)n;
+  FTYPE DT = 1.0 / (double)tsteps;
+  FTYPE B1 = 2.0;
+  FTYPE B2 = 1.0;
+  FTYPE mul1 = B1 * DT / (DX * DX);
+  FTYPE mul2 = B2 * DT / (DX * DX);
+  FTYPE a = (FTYPE)0.0 - mul1 / 2.0;
+  FTYPE b = 1.0 + mul1;
+  FTYPE c = a;
+  FTYPE d = (FTYPE)0.0 - mul2 / 2.0;
+  FTYPE e = 1.0 + mul2;
+  FTYPE f = d;
+  for (int t = 1; t <= tsteps; t++) {
+    for (int i = 1; i < n - 1; i++) {
+      v[0*n+i] = 1.0;
+      p[i*n+0] = 0.0;
+      q[i*n+0] = v[0*n+i];
+      for (int j = 1; j < n - 1; j++) {
+        p[i*n+j] = (FTYPE)0.0 - c / (a * p[i*n+j-1] + b);
+        q[i*n+j] = ((FTYPE)0.0 - d * u[j*n+i-1]
+                    + (1.0 + 2.0*d) * u[j*n+i] - f * u[j*n+i+1]
+                    - a * q[i*n+j-1]) / (a * p[i*n+j-1] + b);
+      }
+      v[(n-1)*n+i] = 1.0;
+      for (int j = n - 2; j >= 1; j--)
+        v[j*n+i] = p[i*n+j] * v[(j+1)*n+i] + q[i*n+j];
+    }
+    for (int i = 1; i < n - 1; i++) {
+      u[i*n+0] = 1.0;
+      p[i*n+0] = 0.0;
+      q[i*n+0] = u[i*n+0];
+      for (int j = 1; j < n - 1; j++) {
+        p[i*n+j] = (FTYPE)0.0 - f / (d * p[i*n+j-1] + e);
+        q[i*n+j] = ((FTYPE)0.0 - a * v[(i-1)*n+j]
+                    + (1.0 + 2.0*a) * v[i*n+j] - c * v[(i+1)*n+j]
+                    - d * q[i*n+j-1]) / (d * p[i*n+j-1] + e);
+      }
+      u[i*n+n-1] = 1.0;
+      for (int j = n - 2; j >= 1; j--)
+        u[i*n+j] = p[i*n+j] * u[i*n+j+1] + q[i*n+j];
+    }
+  }
+}
+
+long run(int n) {
+  FTYPE u[n*n]; FTYPE v[n*n]; FTYPE p[n*n]; FTYPE q[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      u[i*n+j] = (double)(i + n - j) / n;
+      v[i*n+j] = 0.0; p[i*n+j] = 0.0; q[i*n+j] = 0.0;
+    }
+  kernel_adi(4, n, u, v, p, q);
+  for (int i = 0; i < n*n; i++) out[i] = u[i];
+  return (long)out;
+}
+""", dims=2,
+        note="paper: slowdown vs Boost at lower precisions; "
+             "hardware failure with Polly")
+
+_kernel("deriche", r"""
+void kernel_deriche(int n, FTYPE *imgIn, FTYPE *imgOut, FTYPE *y1,
+                    FTYPE *y2, double alpha) {
+  double k_d = (1.0 - exp(0.0 - alpha)) * (1.0 - exp(0.0 - alpha))
+             / (1.0 + 2.0 * alpha * exp(0.0 - alpha) - exp(2.0 * alpha));
+  FTYPE a1 = k_d;
+  FTYPE a2 = k_d * exp(0.0 - alpha) * (alpha - 1.0);
+  FTYPE a3 = k_d * exp(0.0 - alpha) * (alpha + 1.0);
+  FTYPE a4 = (FTYPE)0.0 - k_d * exp(0.0 - 2.0 * alpha);
+  FTYPE b1 = 2.0 * exp(0.0 - alpha);
+  FTYPE b2 = (FTYPE)0.0 - exp(0.0 - 2.0 * alpha);
+  for (int i = 0; i < n; i++) {
+    FTYPE ym1 = 0.0;
+    FTYPE ym2 = 0.0;
+    FTYPE xm1 = 0.0;
+    for (int j = 0; j < n; j++) {
+      y1[i*n+j] = a1 * imgIn[i*n+j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      xm1 = imgIn[i*n+j];
+      ym2 = ym1;
+      ym1 = y1[i*n+j];
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    FTYPE yp1 = 0.0;
+    FTYPE yp2 = 0.0;
+    FTYPE xp1 = 0.0;
+    FTYPE xp2 = 0.0;
+    for (int j = n - 1; j >= 0; j--) {
+      y2[i*n+j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+      xp2 = xp1;
+      xp1 = imgIn[i*n+j];
+      yp2 = yp1;
+      yp1 = y2[i*n+j];
+    }
+  }
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      imgOut[i*n+j] = y1[i*n+j] + y2[i*n+j];
+}
+
+long run(int n) {
+  FTYPE imgIn[n*n]; FTYPE imgOut[n*n]; FTYPE y1[n*n]; FTYPE y2[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      imgIn[i*n+j] = (double)((313*i + 991*j) % 65536) / 65535.0;
+  kernel_deriche(n, imgIn, imgOut, y1, y2, 0.25);
+  for (int i = 0; i < n*n; i++) out[i] = imgOut[i];
+  return (long)out;
+}
+""", dims=2,
+        note="paper: slowdown vs Boost at lower precisions (complex "
+             "access patterns limit MPFR object reuse)")
+
+_kernel("nussinov", r"""
+void kernel_nussinov(int n, FTYPE *table, FTYPE *seq) {
+  for (int i = n - 1; i >= 0; i--) {
+    for (int j = i + 1; j < n; j++) {
+      if (j - 1 >= 0) {
+        if (table[i*n+j] < table[i*n+j-1])
+          table[i*n+j] = table[i*n+j-1];
+      }
+      if (i + 1 < n) {
+        if (table[i*n+j] < table[(i+1)*n+j])
+          table[i*n+j] = table[(i+1)*n+j];
+      }
+      if (j - 1 >= 0) {
+        if (i + 1 < n) {
+          if (i < j - 1) {
+            FTYPE match = table[(i+1)*n+j-1] + (seq[i] + seq[j] == 3.0 ? 1.0 : 0.0);
+            if (table[i*n+j] < match)
+              table[i*n+j] = match;
+          } else {
+            if (table[i*n+j] < table[(i+1)*n+j-1])
+              table[i*n+j] = table[(i+1)*n+j-1];
+          }
+        }
+      }
+      for (int k = i + 1; k < j; k++) {
+        FTYPE split = table[i*n+k] + table[(k+1)*n+j];
+        if (table[i*n+j] < split)
+          table[i*n+j] = split;
+      }
+    }
+  }
+}
+
+long run(int n) {
+  FTYPE table[n*n]; FTYPE seq[n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++) {
+    seq[i] = (double)((i + 1) % 4);
+    for (int j = 0; j < n; j++)
+      table[i*n+j] = 0.0;
+  }
+  kernel_nussinov(n, table, seq);
+  for (int i = 0; i < n*n; i++) out[i] = table[i];
+  return (long)out;
+}
+""", dims=3,
+        note="paper: failed on hardware at max precision with Polly")
+
+_kernel("doitgen", r"""
+void kernel_doitgen(int n, FTYPE *A, FTYPE *C4, FTYPE *sum) {
+  for (int r = 0; r < n; r++)
+    for (int q = 0; q < n; q++) {
+      for (int p = 0; p < n; p++) {
+        sum[p] = 0.0;
+        for (int s = 0; s < n; s++)
+          sum[p] = sum[p] + A[(r*n+q)*n+s] * C4[s*n+p];
+      }
+      for (int p = 0; p < n; p++)
+        A[(r*n+q)*n+p] = sum[p];
+    }
+}
+
+long run(int n) {
+  FTYPE A[n*n*n]; FTYPE C4[n*n]; FTYPE sum[n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      C4[i*n+j] = (double)(i*j % n) / n;
+      for (int k = 0; k < n; k++)
+        A[(i*n+j)*n+k] = (double)((i*j + k) % n) / n;
+    }
+  kernel_doitgen(n, A, C4, sum);
+  for (int i = 0; i < n*n; i++) out[i] = A[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("fdtd-2d", r"""
+void kernel_fdtd_2d(int tmax, int n, FTYPE *ex, FTYPE *ey, FTYPE *hz,
+                    FTYPE *fict) {
+  for (int t = 0; t < tmax; t++) {
+    for (int j = 0; j < n; j++)
+      ey[0*n+j] = fict[t];
+    for (int i = 1; i < n; i++)
+      for (int j = 0; j < n; j++)
+        ey[i*n+j] = ey[i*n+j] - 0.5 * (hz[i*n+j] - hz[(i-1)*n+j]);
+    for (int i = 0; i < n; i++)
+      for (int j = 1; j < n; j++)
+        ex[i*n+j] = ex[i*n+j] - 0.5 * (hz[i*n+j] - hz[i*n+j-1]);
+    for (int i = 0; i < n - 1; i++)
+      for (int j = 0; j < n - 1; j++)
+        hz[i*n+j] = hz[i*n+j] - 0.7 * (ex[i*n+j+1] - ex[i*n+j]
+                                       + ey[(i+1)*n+j] - ey[i*n+j]);
+  }
+}
+
+long run(int n) {
+  FTYPE ex[n*n]; FTYPE ey[n*n]; FTYPE hz[n*n]; FTYPE fict[8];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int t = 0; t < 8; t++) fict[t] = (double)t;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      ex[i*n+j] = (double)(i*(j+1)) / n;
+      ey[i*n+j] = (double)(i*(j+2)) / n;
+      hz[i*n+j] = (double)(i*(j+3)) / n;
+    }
+  kernel_fdtd_2d(6, n, ex, ey, hz, fict);
+  for (int i = 0; i < n*n; i++) out[i] = hz[i];
+  return (long)out;
+}
+""", dims=2)
+
+_kernel("heat-3d", r"""
+void kernel_heat_3d(int tsteps, int n, FTYPE *A, FTYPE *B) {
+  for (int t = 1; t <= tsteps; t++) {
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        for (int k = 1; k < n - 1; k++)
+          B[(i*n+j)*n+k] =
+              0.125 * (A[((i+1)*n+j)*n+k] - 2.0 * A[(i*n+j)*n+k]
+                       + A[((i-1)*n+j)*n+k])
+            + 0.125 * (A[(i*n+j+1)*n+k] - 2.0 * A[(i*n+j)*n+k]
+                       + A[(i*n+j-1)*n+k])
+            + 0.125 * (A[(i*n+j)*n+k+1] - 2.0 * A[(i*n+j)*n+k]
+                       + A[(i*n+j)*n+k-1])
+            + A[(i*n+j)*n+k];
+    for (int i = 1; i < n - 1; i++)
+      for (int j = 1; j < n - 1; j++)
+        for (int k = 1; k < n - 1; k++)
+          A[(i*n+j)*n+k] =
+              0.125 * (B[((i+1)*n+j)*n+k] - 2.0 * B[(i*n+j)*n+k]
+                       + B[((i-1)*n+j)*n+k])
+            + 0.125 * (B[(i*n+j+1)*n+k] - 2.0 * B[(i*n+j)*n+k]
+                       + B[(i*n+j-1)*n+k])
+            + 0.125 * (B[(i*n+j)*n+k+1] - 2.0 * B[(i*n+j)*n+k]
+                       + B[(i*n+j)*n+k-1])
+            + B[(i*n+j)*n+k];
+  }
+}
+
+long run(int n) {
+  FTYPE A[n*n*n]; FTYPE B[n*n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int k = 0; k < n; k++) {
+        A[(i*n+j)*n+k] = (double)(i + j + (n - k)) * 10.0 / n;
+        B[(i*n+j)*n+k] = A[(i*n+j)*n+k];
+      }
+  kernel_heat_3d(4, n, A, B);
+  for (int i = 0; i < n*n; i++) out[i] = A[i];
+  return (long)out;
+}
+""", dims=3)
+
+_kernel("floyd-warshall", r"""
+void kernel_floyd_warshall(int n, FTYPE *path) {
+  for (int k = 0; k < n; k++)
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++) {
+        FTYPE through = path[i*n+k] + path[k*n+j];
+        if (through < path[i*n+j])
+          path[i*n+j] = through;
+      }
+}
+
+long run(int n) {
+  FTYPE path[n*n];
+  FTYPE *out = (FTYPE*)malloc(n*n*sizeof(FTYPE));
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      path[i*n+j] = (double)(i*j % 7 + 1);
+      if ((i + j) % 13 == 0 || (i + j) % 7 == 0) path[i*n+j] = 999.0;
+      if (i == j) path[i*n+j] = 0.0;
+    }
+  kernel_floyd_warshall(n, path);
+  for (int i = 0; i < n*n; i++) out[i] = path[i];
+  return (long)out;
+}
+""", dims=3)
+
+
+#: Kernel subsets used by the evaluation drivers.
+TABLE1_KERNELS = ("gemm", "3mm", "covariance", "gramschmidt")
+FIG1_KERNELS = tuple(KERNELS)
+FIG2_KERNELS = ("gemm", "2mm", "3mm", "atax", "bicg", "mvt", "gesummv",
+                "gemver", "trisolv", "jacobi-1d", "jacobi-2d", "ludcmp",
+                "adi", "nussinov", "gramschmidt")
+#: Kernel/Polly combinations that hit the coprocessor memory erratum in
+#: the paper's runs (§IV-B).
+FIG2_HW_FAILURES = {
+    ("gesummv", False), ("gesummv", True),
+    ("adi", False), ("adi", True),
+    ("3mm", True), ("ludcmp", True), ("nussinov", True),
+}
+
+
+def source_for(kernel: str, ftype: str) -> str:
+    """Instantiated dialect source for one kernel."""
+    return KERNELS[kernel].instantiate(ftype)
+
+
+def vpfloat_mpfr_type(prec_bits: int, exp_bits: int = 16) -> str:
+    return f"vpfloat<mpfr, {exp_bits}, {prec_bits}>"
+
+
+def vpfloat_unum_type(ess: int = 4, fss: int = 9,
+                      size: int | None = None) -> str:
+    if size is None:
+        return f"vpfloat<unum, {ess}, {fss}>"
+    return f"vpfloat<unum, {ess}, {fss}, {size}>"

@@ -1,0 +1,75 @@
+"""Transprecision (adaptive) CG -- the paper's §II usage pattern."""
+
+import pytest
+
+from repro.solvers import (
+    adaptive_cg,
+    bcsstk20_like,
+    conjugate_gradient,
+    rhs_for,
+)
+
+
+@pytest.fixture(scope="module")
+def hard_system():
+    matrix = bcsstk20_like(n=48, condition=1e12)
+    return matrix, rhs_for(matrix)
+
+
+class TestAdaptiveCG:
+    def test_converges_where_low_precision_cannot(self, hard_system):
+        matrix, b = hard_system
+        fixed_low = conjugate_gradient(matrix, b, 60, tolerance=1e-12,
+                                       max_iterations=800)
+        assert not fixed_low.converged  # cond 1e12 defeats 60 bits
+        adaptive = adaptive_cg(matrix, b, initial_precision=60,
+                               tolerance=1e-12)
+        assert adaptive.converged
+        assert adaptive.final_precision > 60
+
+    def test_escalation_trace(self, hard_system):
+        matrix, b = hard_system
+        result = adaptive_cg(matrix, b, initial_precision=60,
+                             tolerance=1e-12)
+        precisions = [s.precision for s in result.stages]
+        assert precisions == sorted(precisions)  # never de-escalates
+        assert precisions[0] == 60
+        assert any(s.escalated for s in result.stages)
+        assert not result.stages[-1].escalated  # last stage converged
+
+    def test_cheaper_than_overprovisioning(self, hard_system):
+        """The transprecision promise: pay for precision only when the
+        conditioning demands it."""
+        matrix, b = hard_system
+        adaptive = adaptive_cg(matrix, b, initial_precision=60,
+                               tolerance=1e-12)
+        overkill = conjugate_gradient(matrix, b, 1024, tolerance=1e-12)
+        assert adaptive.converged and overkill.converged
+        assert adaptive.modeled_cycles() < overkill.ops.cycles(1024)
+
+    def test_easy_system_stays_cheap(self):
+        """Well-conditioned systems never escalate."""
+        matrix = bcsstk20_like(n=24, condition=1e3)
+        b = rhs_for(matrix)
+        result = adaptive_cg(matrix, b, initial_precision=60,
+                             tolerance=1e-8)
+        assert result.converged
+        assert result.final_precision == 60
+        assert len(result.stages) == 1
+
+    def test_max_precision_bound_respected(self, hard_system):
+        matrix, b = hard_system
+        result = adaptive_cg(matrix, b, initial_precision=60,
+                             max_precision=120, tolerance=1e-30)
+        assert not result.converged  # 1e-30 is unreachable at 120 bits
+        assert result.final_precision <= 240  # last escalation attempt
+
+    def test_solution_actually_solves(self, hard_system):
+        matrix, b = hard_system
+        result = adaptive_cg(matrix, b, initial_precision=60,
+                             tolerance=1e-12)
+        x = [v.to_float() for v in result.x]
+        ax = matrix.matvec(x)
+        scale = max(abs(v) for v in b) or 1.0
+        for got, want in zip(ax, b):
+            assert got == pytest.approx(want, abs=1e-5 * scale)

@@ -1,0 +1,207 @@
+"""Arithmetic kernels: cross-checks against IEEE binary64 and invariants."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.bigfloat import (
+    RNDD,
+    RNDN,
+    RNDU,
+    RNDZ,
+    BigFloat,
+    add,
+    div,
+    fma,
+    fms,
+    mul,
+    sqrt,
+    sub,
+    from_str,
+)
+
+# Keep magnitudes well inside binary64's range so that the 53-bit BigFloat
+# result and the hardware float result are both correctly rounded with no
+# overflow/underflow, hence bit-identical.
+safe_floats = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=False,
+    min_value=-1e100, max_value=1e100,
+)
+nonzero_floats = safe_floats.filter(lambda x: abs(x) > 1e-100)
+
+
+def bf(x: float) -> BigFloat:
+    return BigFloat.from_float(x, 53)
+
+
+@given(safe_floats, safe_floats)
+def test_add_matches_binary64(x, y):
+    assert add(bf(x), bf(y), 53).to_float() == x + y
+
+
+@given(safe_floats, safe_floats)
+def test_sub_matches_binary64(x, y):
+    assert sub(bf(x), bf(y), 53).to_float() == x - y
+
+
+@given(safe_floats, safe_floats)
+def test_mul_matches_binary64(x, y):
+    assert mul(bf(x), bf(y), 53).to_float() == x * y
+
+
+@given(safe_floats, nonzero_floats)
+def test_div_matches_binary64(x, y):
+    assert div(bf(x), bf(y), 53).to_float() == x / y
+
+
+@given(safe_floats.filter(lambda v: v >= 0))
+def test_sqrt_matches_binary64(x):
+    assert sqrt(bf(x), 53).to_float() == math.sqrt(x)
+
+
+@given(safe_floats, safe_floats)
+def test_add_commutes(x, y):
+    assert add(bf(x), bf(y), 200) == add(bf(y), bf(x), 200)
+
+
+@given(safe_floats, safe_floats)
+def test_mul_commutes(x, y):
+    assert mul(bf(x), bf(y), 200) == mul(bf(y), bf(x), 200)
+
+
+@given(safe_floats, safe_floats)
+def test_add_exact_at_wide_precision(x, y):
+    """With enough bits the sum of two 53-bit values is exact."""
+    wide = add(bf(x), bf(y), 2200)
+    # Exactness: subtracting back one operand recovers the other.
+    back = sub(wide, bf(y), 2200)
+    assert back.to_float() == x
+
+
+@given(safe_floats, safe_floats)
+def test_mul_exact_at_double_precision(x, y):
+    assume(x != 0 and y != 0)
+    exact = mul(bf(x), bf(y), 106)
+    back = div(exact, bf(y), 120)
+    assert back.to_float() == x
+
+
+@given(safe_floats, safe_floats, safe_floats)
+def test_fma_single_rounding(x, y, z):
+    """fma equals the doubly-wide product-sum rounded once."""
+    wide = add(mul(bf(x), bf(y), 2400), bf(z), 2400)
+    assert fma(bf(x), bf(y), bf(z), 53) == wide.round_to(53)
+
+
+@given(safe_floats, safe_floats, safe_floats)
+def test_fms_is_fma_with_negated_addend(x, y, z):
+    assert fms(bf(x), bf(y), bf(z), 53) == fma(bf(x), bf(y), -bf(z), 53)
+
+
+@given(nonzero_floats)
+def test_directed_rounding_brackets_division(x):
+    third_down = div(bf(x), bf(3.0), 40, RNDD)
+    third_up = div(bf(x), bf(3.0), 40, RNDU)
+    assert third_down <= third_up
+    exact = div(bf(x), bf(3.0), 200)
+    assert third_down <= exact <= third_up
+
+
+@given(nonzero_floats)
+def test_rndz_magnitude_never_exceeds_exact(x):
+    q = div(bf(x), bf(7.0), 30, RNDZ)
+    exact = div(bf(x), bf(7.0), 300)
+    assert abs(q) <= abs(exact)
+
+
+class TestSpecialValues:
+    def test_nan_propagation(self):
+        nan, one = BigFloat.nan(), BigFloat.from_int(1)
+        for op in (add, sub, mul, div):
+            assert op(nan, one, 53).is_nan()
+            assert op(one, nan, 53).is_nan()
+
+    def test_inf_plus_inf(self):
+        inf = BigFloat.inf()
+        assert add(inf, inf, 53).is_inf()
+        assert add(inf, -inf, 53).is_nan()
+
+    def test_inf_times_zero_is_nan(self):
+        assert mul(BigFloat.inf(), BigFloat.zero(), 53).is_nan()
+
+    def test_div_by_zero(self):
+        one = BigFloat.from_int(1)
+        assert div(one, BigFloat.zero(), 53).is_inf()
+        assert div(-one, BigFloat.zero(), 53).sign == 1
+        assert div(BigFloat.zero(), BigFloat.zero(), 53).is_nan()
+
+    def test_inf_div_inf_is_nan(self):
+        assert div(BigFloat.inf(), BigFloat.inf(), 53).is_nan()
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        one = BigFloat.from_int(1)
+        z = sub(one, one, 53)
+        assert z.is_zero() and z.sign == 0
+
+    def test_exact_cancellation_rndd_gives_negative_zero(self):
+        one = BigFloat.from_int(1)
+        z = sub(one, one, 53, RNDD)
+        assert z.is_zero() and z.sign == 1
+
+    def test_sqrt_negative_is_nan(self):
+        assert sqrt(BigFloat.from_int(-4), 53).is_nan()
+
+    def test_sqrt_of_negative_zero(self):
+        z = sqrt(BigFloat.zero(53, sign=1), 53)
+        assert z.is_zero() and z.sign == 1
+
+    def test_sqrt_inf(self):
+        assert sqrt(BigFloat.inf(), 53).is_inf()
+
+    def test_zero_plus_zero_signs(self):
+        pz, nz = BigFloat.zero(), BigFloat.zero(53, 1)
+        assert add(pz, pz, 53).sign == 0
+        assert add(nz, nz, 53).sign == 1
+        assert add(pz, nz, 53).sign == 0  # RNDN: +0
+        assert add(pz, nz, 53, RNDD).sign == 1
+
+    def test_fma_inf_cases(self):
+        inf, one, zero = BigFloat.inf(), BigFloat.from_int(1), BigFloat.zero()
+        assert fma(inf, zero, one, 53).is_nan()
+        assert fma(inf, one, -inf, 53).is_nan()
+        assert fma(inf, one, one, 53).is_inf()
+        assert fma(one, one, inf, 53).is_inf()
+
+
+class TestHighPrecision:
+    def test_catastrophic_cancellation_avoided(self):
+        """(1 + 2**-200) - 1 is zero at 53 bits, exact at 300 bits."""
+        tiny = BigFloat.from_fraction(1, 1 << 200, 300)
+        one = BigFloat.from_int(1, 300)
+        x = add(one, tiny, 300)
+        diff = sub(x, one, 300)
+        assert diff == tiny
+
+    def test_quadratic_formula_residual_shrinks_with_precision(self):
+        """Root residual of x^2 - 4x + 3.9999999 improves with precision."""
+        residuals = []
+        for prec in (24, 53, 120, 400):
+            a = BigFloat.from_int(1, prec)
+            b = BigFloat.from_int(-4, prec)
+            c = from_str("3.9999999", prec)
+            disc = sub(mul(b, b, prec), mul(BigFloat.from_int(4, prec), c, prec), prec)
+            root = div(sub(-b, sqrt(disc, prec), prec), BigFloat.from_int(2, prec), prec)
+            resid = add(mul(root, root, prec),
+                        add(mul(b, root, prec), c, prec), prec)
+            residuals.append(abs(resid).to_float() if resid.is_finite() else 0.0)
+        assert residuals[0] >= residuals[1] >= residuals[2]
+
+    def test_associativity_restored_at_high_precision(self):
+        a = bf(1e30)
+        b = bf(-1e30)
+        c = bf(1.0)
+        lo = add(add(a, c, 53), b, 53)  # loses c at 53 bits
+        hi = add(add(a, c, 200), b, 200)
+        assert lo.to_float() == 0.0
+        assert hi.to_float() == 1.0

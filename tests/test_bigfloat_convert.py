@@ -1,0 +1,112 @@
+"""Decimal conversion: parsing, formatting, round trips."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bigfloat import (
+    BigFloat,
+    decimal_digits_for,
+    from_str,
+    log10_magnitude,
+    to_str,
+)
+
+
+class TestParsing:
+    def test_simple(self):
+        assert from_str("1.5", 53).to_float() == 1.5
+        assert from_str("-0.25", 53).to_float() == -0.25
+        assert from_str("100", 53).to_float() == 100.0
+
+    def test_exponent_forms(self):
+        assert from_str("1e3", 53).to_float() == 1000.0
+        assert from_str("2.5E-2", 53).to_float() == 0.025
+        assert from_str("+1.25e+2", 53).to_float() == 125.0
+
+    def test_leading_dot(self):
+        assert from_str(".5", 53).to_float() == 0.5
+
+    def test_special_tokens(self):
+        assert from_str("inf", 53).is_inf()
+        assert from_str("-Infinity", 53).sign == 1
+        assert from_str("nan", 53).is_nan()
+
+    def test_signed_zero(self):
+        assert from_str("-0.0", 53).sign == 1
+        assert from_str("0", 53).sign == 0
+
+    def test_invalid_raises(self):
+        for bad in ("", "abc", "1.2.3", "e5", "--1"):
+            with pytest.raises(ValueError):
+                from_str(bad, 53)
+
+    def test_one_point_three_binary64(self):
+        """'1.3' must parse to exactly the binary64 nearest value at 53b."""
+        assert from_str("1.3", 53).to_float() == 1.3
+
+    def test_correct_rounding_vs_float_parse(self):
+        for text in ("3.14159265358979", "2.718281828459045", "1e-5",
+                     "123456.789012345", "9.87654321e20"):
+            assert from_str(text, 53).to_float() == float(text)
+
+
+class TestFormatting:
+    def test_specials(self):
+        assert to_str(BigFloat.nan()) == "nan"
+        assert to_str(BigFloat.inf()) == "inf"
+        assert to_str(BigFloat.inf(53, 1)) == "-inf"
+        assert to_str(BigFloat.zero()) == "0.0"
+        assert to_str(BigFloat.zero(53, 1)) == "-0.0"
+
+    def test_explicit_digits(self):
+        x = from_str("1.25", 53)
+        assert to_str(x, 3) == "1.25e+00"
+
+    def test_small_magnitude(self):
+        x = from_str("1.5e-40", 200)
+        assert to_str(x, 2) == "1.5e-40"
+
+    def test_large_magnitude(self):
+        x = from_str("7e99", 200)
+        text = to_str(x, 2)
+        assert text.startswith("7.0e+99")
+
+    def test_negative(self):
+        assert to_str(from_str("-2.0", 53), 2) == "-2.0e+00"
+
+    def test_digit_default_round_trips(self):
+        assert decimal_digits_for(53) >= 17
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, allow_subnormal=False,
+                 min_value=-1e200, max_value=1e200).filter(lambda x: x != 0))
+def test_round_trip_through_string(x):
+    text = to_str(BigFloat.from_float(x, 53))
+    assert from_str(text, 53).to_float() == x
+
+
+@given(st.integers(min_value=1, max_value=10**40),
+       st.integers(min_value=1, max_value=10**40))
+def test_round_trip_high_precision_rationals(num, den):
+    x = BigFloat.from_fraction(num, den, 180)
+    text = to_str(x)
+    assert from_str(text, 180) == x
+
+
+class TestLog10Magnitude:
+    def test_powers_of_ten(self):
+        for k in (-30, -1, 0, 1, 5, 30):
+            x = from_str(f"1e{k}", 120)
+            assert abs(log10_magnitude(x) - k) < 1e-9
+
+    def test_huge_exponent_does_not_overflow(self):
+        x = BigFloat.from_fraction(1, 1 << 5000, 100)
+        assert log10_magnitude(x) < -1000
+
+    def test_specials(self):
+        assert log10_magnitude(BigFloat.zero()) == -math.inf
+        assert log10_magnitude(BigFloat.inf()) == math.inf
+        assert math.isnan(log10_magnitude(BigFloat.nan()))

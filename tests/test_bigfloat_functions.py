@@ -1,0 +1,162 @@
+"""Transcendental functions: cross-checks against math and known digits."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bigfloat import (
+    BigFloat,
+    const_log2,
+    const_pi,
+    cos,
+    exp,
+    from_str,
+    log,
+    log2,
+    log10,
+    pow,
+    sin,
+    tan,
+    to_str,
+)
+
+# Published digit strings used as ground truth.
+PI_50 = "3.1415926535897932384626433832795028841971693993751"
+LN2_50 = "0.69314718055994530941723212145817656807550013436026"
+E_50 = "2.7182818284590452353602874713526624977572470936999"
+
+moderate = st.floats(min_value=-30.0, max_value=30.0,
+                     allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-30, max_value=1e30,
+                     allow_nan=False, allow_infinity=False)
+
+
+def rel_close(a: float, b: float, ulps: float = 4.0) -> bool:
+    if b == 0:
+        return abs(a) < 1e-300
+    return abs(a - b) <= ulps * abs(b) * 2**-52
+
+
+class TestConstants:
+    def test_pi_digits(self):
+        reference = from_str(PI_50, 170)
+        assert abs((const_pi(170) - reference)).to_float() < 1e-49
+
+    def test_log2_digits(self):
+        reference = from_str(LN2_50, 170)
+        assert abs((const_log2(170) - reference)).to_float() < 1e-49
+
+    def test_pi_cached_across_precisions(self):
+        a = const_pi(100)
+        b = const_pi(500)
+        assert a == b.round_to(100)
+
+
+class TestExp:
+    def test_e_digits(self):
+        e = exp(BigFloat.from_int(1, 170), 170)
+        assert abs((e - from_str(E_50, 170))).to_float() < 1e-49
+
+    @given(moderate)
+    def test_matches_math(self, x):
+        got = exp(BigFloat.from_float(x), 53).to_float()
+        assert rel_close(got, math.exp(x))
+
+    def test_specials(self):
+        assert exp(BigFloat.nan(), 53).is_nan()
+        assert exp(BigFloat.inf(), 53).is_inf()
+        assert exp(BigFloat.inf(53, 1), 53).is_zero()
+        assert exp(BigFloat.zero(), 53).to_float() == 1.0
+
+    def test_large_argument_raises(self):
+        with pytest.raises(OverflowError):
+            exp(BigFloat.from_float(1e20), 53)
+
+    def test_exp_log_round_trip_high_precision(self):
+        x = from_str("1.234567890123456789", 300)
+        assert abs(log(exp(x, 320), 300) - x).to_float() < 1e-85
+
+
+class TestLog:
+    @given(positive)
+    def test_matches_math(self, x):
+        got = log(BigFloat.from_float(x), 53).to_float()
+        assert rel_close(got, math.log(x), ulps=8)
+
+    def test_log_one_is_zero(self):
+        assert log(BigFloat.from_int(1), 53).is_zero()
+
+    def test_specials(self):
+        assert log(BigFloat.nan(), 53).is_nan()
+        assert log(BigFloat.from_int(-1), 53).is_nan()
+        z = log(BigFloat.zero(), 53)
+        assert z.is_inf() and z.sign == 1
+        assert log(BigFloat.inf(), 53).is_inf()
+
+    def test_log2_of_powers_of_two(self):
+        for k in (-5, 0, 1, 10, 100):
+            x = BigFloat.from_fraction(1 << max(k, 0), 1 << max(-k, 0), 200)
+            assert log2(x, 100).to_float() == float(k)
+
+    def test_log10_of_1000(self):
+        assert abs(log10(BigFloat.from_int(1000), 100).to_float() - 3.0) < 1e-25
+
+
+class TestTrig:
+    @given(moderate)
+    def test_sin_matches_math(self, x):
+        got = sin(BigFloat.from_float(x), 53).to_float()
+        assert abs(got - math.sin(x)) < 1e-14
+
+    @given(moderate)
+    def test_cos_matches_math(self, x):
+        got = cos(BigFloat.from_float(x), 53).to_float()
+        assert abs(got - math.cos(x)) < 1e-14
+
+    @given(st.floats(min_value=-1.4, max_value=1.4))
+    def test_tan_matches_math(self, x):
+        got = tan(BigFloat.from_float(x), 53).to_float()
+        assert rel_close(got, math.tan(x), ulps=32)
+
+    @given(moderate)
+    def test_pythagorean_identity(self, x):
+        v = BigFloat.from_float(x, 120)
+        s, c = sin(v, 120), cos(v, 120)
+        total = (s * s + c * c).to_float()
+        assert abs(total - 1.0) < 1e-30
+
+    def test_sin_pi_is_tiny(self):
+        pi = const_pi(300)
+        assert abs(sin(pi, 200)).to_float() < 1e-85
+
+    def test_specials(self):
+        assert sin(BigFloat.inf(), 53).is_nan()
+        assert cos(BigFloat.nan(), 53).is_nan()
+        assert sin(BigFloat.zero(), 53).is_zero()
+        assert cos(BigFloat.zero(), 53).to_float() == 1.0
+
+
+class TestPow:
+    @given(st.floats(min_value=0.01, max_value=100),
+           st.floats(min_value=-10, max_value=10))
+    def test_matches_math(self, x, y):
+        got = pow(BigFloat.from_float(x), BigFloat.from_float(y), 53).to_float()
+        assert rel_close(got, math.pow(x, y), ulps=64)
+
+    def test_anything_to_zero_is_one(self):
+        assert pow(BigFloat.from_float(7.5), BigFloat.zero(), 53).to_float() == 1.0
+
+    def test_negative_base_integer_exponent(self):
+        got = pow(BigFloat.from_int(-2), BigFloat.from_int(3), 53)
+        assert got.to_float() == -8.0
+        got = pow(BigFloat.from_int(-2), BigFloat.from_int(4), 53)
+        assert got.to_float() == 16.0
+
+    def test_negative_base_fractional_exponent_nan(self):
+        assert pow(BigFloat.from_int(-2), BigFloat.from_float(0.5), 53).is_nan()
+
+    def test_zero_base(self):
+        assert pow(BigFloat.zero(), BigFloat.from_int(2), 53).is_zero()
+        assert pow(BigFloat.zero(), BigFloat.from_int(-2), 53).is_inf()

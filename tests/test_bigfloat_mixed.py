@@ -1,0 +1,100 @@
+"""Cross-precision properties of the BigFloat substrate.
+
+The paper's type system lets 'multiple variables of different, possibly
+dynamically varying, precision' coexist; these properties pin down the
+arithmetic behaviour that relies on (the MPFR destination-precision
+discipline: every op rounds once, to the *destination's* precision,
+whatever its sources carry).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import (
+    RNDD,
+    RNDN,
+    RNDU,
+    BigFloat,
+    add,
+    div,
+    mul,
+    sub,
+)
+
+floats = st.floats(allow_nan=False, allow_infinity=False,
+                   allow_subnormal=False, min_value=-1e80, max_value=1e80)
+precisions = st.integers(min_value=4, max_value=600)
+
+
+@given(floats, floats, precisions, precisions)
+def test_destination_precision_governs(x, y, pa, pb):
+    """The result precision is the requested one, not the operands'."""
+    a = BigFloat.from_float(x, pa)
+    b = BigFloat.from_float(y, pb)
+    for target in (4, 53, 200):
+        result = add(a, b, target)
+        assert result.prec == target
+
+
+@given(floats, floats, precisions)
+def test_widening_then_narrowing_is_single_rounding(x, y, prec):
+    """op at high precision then round == op at low precision requires a
+    double-rounding hazard; with >= 2p+2 intermediate bits, multiplication
+    is exact so the equality must hold."""
+    a = BigFloat.from_float(x, 53)
+    b = BigFloat.from_float(y, 53)
+    exact = mul(a, b, 110)  # 53+53 <= 106 bits: exact product
+    assert mul(a, b, prec) == exact.round_to(prec)
+
+
+@given(floats, floats)
+def test_mixed_precision_operands_promote_exactly(x, y):
+    """A 24-bit value equals its 200-bit widening in any expression."""
+    narrow = BigFloat.from_float(x, 24)
+    wide = narrow.round_to(200)
+    other = BigFloat.from_float(y, 53)
+    assert add(narrow, other, 100) == add(wide, other, 100)
+    assert mul(narrow, other, 100) == mul(wide, other, 100)
+
+
+@given(floats, floats)
+def test_directed_modes_bracket(x, y):
+    a = BigFloat.from_float(x, 53)
+    b = BigFloat.from_float(y, 53)
+    down = add(a, b, 20, RNDD)
+    near = add(a, b, 20, RNDN)
+    up = add(a, b, 20, RNDU)
+    assert down <= near <= up
+
+
+@given(floats)
+def test_add_zero_identity_at_any_precision(x):
+    a = BigFloat.from_float(x, 53)
+    zero = BigFloat.zero(10)
+    assert add(a, zero, 53) == a
+
+
+@given(floats.filter(lambda v: v != 0), precisions)
+def test_self_division_is_one(x, prec):
+    a = BigFloat.from_float(x, 53)
+    assert div(a, a, prec).to_float() == 1.0
+
+
+@given(floats, precisions)
+@settings(max_examples=40)
+def test_sub_self_is_zero(x, prec):
+    a = BigFloat.from_float(x, 97)
+    result = sub(a, a, prec)
+    assert result.is_zero()
+    assert result.sign == 0  # RNDN exact cancellation is +0
+
+
+@given(st.integers(min_value=-10**18, max_value=10**18),
+       st.integers(min_value=-10**18, max_value=10**18))
+def test_integer_arithmetic_exact_when_it_fits(m, n):
+    a = BigFloat.from_int(m, 64)
+    b = BigFloat.from_int(n, 64)
+    assert add(a, b, 128).to_int() == m + n
+    assert sub(a, b, 128).to_int() == m - n
+    assert mul(a, b, 150).to_int() == m * n

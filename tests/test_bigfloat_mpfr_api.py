@@ -1,0 +1,174 @@
+"""The C-style MPFR object layer: lifetime, stats, specialized entries."""
+
+import pytest
+
+from repro.bigfloat import MpfrLibrary, MpfrUseAfterClear, limb_bytes
+
+
+@pytest.fixture()
+def lib():
+    return MpfrLibrary()
+
+
+class TestLifetime:
+    def test_init_leaves_nan(self, lib):
+        v = lib.init2(128)
+        assert v.value.is_nan()
+        assert v.prec == 128
+
+    def test_init_clear_accounting(self, lib):
+        a = lib.init2(100)
+        b = lib.init2(200)
+        assert lib.live_objects == 2
+        assert lib.peak_live_objects == 2
+        lib.clear(a)
+        assert lib.live_objects == 1
+        lib.clear(b)
+        assert lib.stats.inits == 2
+        assert lib.stats.clears == 2
+
+    def test_double_clear_raises(self, lib):
+        v = lib.init2(64)
+        lib.clear(v)
+        with pytest.raises(MpfrUseAfterClear):
+            lib.clear(v)
+
+    def test_use_after_clear_raises(self, lib):
+        a, b, c = lib.init2(64), lib.init2(64), lib.init2(64)
+        lib.set_d(a, 1.0)
+        lib.set_d(b, 2.0)
+        lib.clear(c)
+        with pytest.raises(MpfrUseAfterClear):
+            lib.add(c, a, b)
+
+    def test_min_precision(self, lib):
+        with pytest.raises(ValueError):
+            lib.init2(1)
+
+    def test_limb_accounting(self, lib):
+        lib.init2(128)
+        assert lib.stats.limb_bytes_allocated == limb_bytes(128)
+        assert limb_bytes(128) == 16
+        assert limb_bytes(129) == 24
+        assert limb_bytes(53) == 8
+
+
+class TestArithmetic:
+    def test_three_address_pattern(self, lib):
+        a, b, dst = lib.init2(100), lib.init2(100), lib.init2(100)
+        lib.set_str(a, "1.5")
+        lib.set_str(b, "2.25")
+        lib.add(dst, a, b)
+        assert lib.get_d(dst) == 3.75
+        lib.mul(dst, a, b)
+        assert lib.get_d(dst) == 3.375
+        lib.sub(dst, dst, a)  # dest aliases a source: allowed by MPFR
+        assert lib.get_d(dst) == 1.875
+
+    def test_dest_precision_governs_rounding(self, lib):
+        a, b = lib.init2(200), lib.init2(200)
+        narrow = lib.init2(10)
+        lib.set_si(a, 1)
+        lib.set_si(b, 3)
+        lib.div(narrow, a, b)
+        assert narrow.value.prec == 10
+
+    def test_fma(self, lib):
+        a, b, c, d = (lib.init2(64) for _ in range(4))
+        lib.set_d(a, 2.0)
+        lib.set_d(b, 3.0)
+        lib.set_d(c, 1.0)
+        lib.fma(d, a, b, c)
+        assert lib.get_d(d) == 7.0
+        lib.fms(d, a, b, c)
+        assert lib.get_d(d) == 5.0
+
+    def test_unary_ops(self, lib):
+        a, d = lib.init2(64), lib.init2(64)
+        lib.set_d(a, 4.0)
+        lib.sqrt(d, a)
+        assert lib.get_d(d) == 2.0
+        lib.neg(d, a)
+        assert lib.get_d(d) == -4.0
+        lib.abs(d, d)
+        assert lib.get_d(d) == 4.0
+
+    def test_math_functions(self, lib):
+        import math
+
+        a, d = lib.init2(80), lib.init2(80)
+        lib.set_d(a, 1.0)
+        lib.exp(d, a)
+        assert abs(lib.get_d(d) - math.e) < 1e-15
+        lib.log(d, d)
+        assert abs(lib.get_d(d) - 1.0) < 1e-15
+        lib.sin(d, a)
+        assert abs(lib.get_d(d) - math.sin(1)) < 1e-15
+        lib.cos(d, a)
+        assert abs(lib.get_d(d) - math.cos(1)) < 1e-15
+
+    def test_swap(self, lib):
+        a, b = lib.init2(64), lib.init2(128)
+        lib.set_d(a, 1.0)
+        lib.set_d(b, 2.0)
+        lib.swap(a, b)
+        assert lib.get_d(a) == 2.0 and a.prec == 128
+        assert lib.get_d(b) == 1.0 and b.prec == 64
+
+
+class TestSpecializedEntryPoints:
+    def test_scalar_variants_counted(self, lib):
+        a, d = lib.init2(64), lib.init2(64)
+        lib.set_d(a, 10.0)
+        lib.add_d(d, a, 1.5)
+        lib.mul_si(d, d, 2)
+        lib.div_d(d, d, 4.0)
+        assert lib.stats.specialized_ops == 3
+        assert lib.get_d(d) == 5.75
+
+    def test_reversed_scalar_ops(self, lib):
+        a, d = lib.init2(64), lib.init2(64)
+        lib.set_d(a, 4.0)
+        lib.d_sub(d, 10.0, a)
+        assert lib.get_d(d) == 6.0
+        lib.d_div(d, 1.0, a)
+        assert lib.get_d(d) == 0.25
+
+    def test_generic_vs_specialized_same_value(self, lib):
+        a, tmp, d1, d2 = (lib.init2(90) for _ in range(4))
+        lib.set_d(a, 3.25)
+        lib.set_d(tmp, 1.75)
+        lib.add(d1, a, tmp)
+        lib.add_d(d2, a, 1.75)
+        assert lib.cmp(d1, d2) == 0
+
+
+class TestComparisonsAndConversions:
+    def test_cmp(self, lib):
+        a, b = lib.init2(64), lib.init2(64)
+        lib.set_d(a, 1.0)
+        lib.set_d(b, 2.0)
+        assert lib.cmp(a, b) < 0
+        assert lib.cmp(b, a) > 0
+        assert lib.cmp(a, a) == 0
+        assert lib.cmp_d(a, 0.5) > 0
+
+    def test_get_si_truncates(self, lib):
+        a = lib.init2(64)
+        lib.set_d(a, -2.75)
+        assert lib.get_si(a) == -2
+
+    def test_get_str(self, lib):
+        a = lib.init2(64)
+        lib.set_str(a, "1.25")
+        assert lib.get_str(a, 3) == "1.25e+00"
+
+    def test_stats_by_name(self, lib):
+        a = lib.init2(64)
+        lib.set_d(a, 1.0)
+        lib.set_d(a, 2.0)
+        assert lib.stats.by_name["mpfr_set_d"] == 2
+        snap = lib.stats.snapshot()
+        lib.set_d(a, 3.0)
+        assert snap.by_name["mpfr_set_d"] == 2  # snapshot is detached
+        assert lib.stats.total_calls() == 4

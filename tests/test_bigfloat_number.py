@@ -1,0 +1,213 @@
+"""Unit tests for BigFloat construction, classification and comparison."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bigfloat import RNDD, RNDU, BigFloat, Kind
+
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=False,
+    min_value=-1e300, max_value=1e300,
+)
+
+
+class TestConstruction:
+    def test_zero_signs(self):
+        assert BigFloat.zero(10).sign == 0
+        assert BigFloat.zero(10, sign=1).is_negative()
+        assert BigFloat.zero(10).is_zero()
+
+    def test_from_int_exact(self):
+        x = BigFloat.from_int(42, 53)
+        assert x.to_int() == 42
+        assert x.to_float() == 42.0
+
+    def test_from_int_negative(self):
+        x = BigFloat.from_int(-7, 53)
+        assert x.sign == 1
+        assert x.to_int() == -7
+
+    def test_from_int_rounds_when_wide(self):
+        # 2**60 + 1 cannot fit in 10 bits.
+        x = BigFloat.from_int((1 << 60) + 1, 10)
+        assert x.to_int() == 1 << 60
+
+    def test_from_float_special(self):
+        assert BigFloat.from_float(math.nan).is_nan()
+        assert BigFloat.from_float(math.inf).is_inf()
+        assert BigFloat.from_float(-math.inf).sign == 1
+        assert BigFloat.from_float(-0.0).is_zero()
+        assert BigFloat.from_float(-0.0).sign == 1
+
+    def test_from_fraction(self):
+        third = BigFloat.from_fraction(1, 3, 100)
+        assert abs(third.to_float() - 1 / 3) < 1e-16
+
+    def test_from_fraction_zero_denominator(self):
+        with pytest.raises(ZeroDivisionError):
+            BigFloat.from_fraction(1, 0)
+
+    def test_from_value_rejects_bool(self):
+        with pytest.raises(TypeError):
+            BigFloat.from_value(True)
+
+    def test_immutable(self):
+        x = BigFloat.from_int(1)
+        with pytest.raises(AttributeError):
+            x.mant = 5
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            BigFloat.zero(0)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError):
+            BigFloat(Kind.FINITE, 0, 0b101, 0, 4)
+
+
+class TestRoundTo:
+    def test_narrowing(self):
+        x = BigFloat.from_int((1 << 20) + 1, 30)
+        y = x.round_to(10)
+        assert y.prec == 10
+        assert y.to_int() == 1 << 20
+
+    def test_widening_is_exact(self):
+        x = BigFloat.from_float(1.5, 53)
+        y = x.round_to(200)
+        assert y.to_float() == 1.5
+
+    def test_directed_round_to(self):
+        x = BigFloat.from_fraction(1, 3, 100)
+        lo = x.round_to(20, RNDD)
+        hi = x.round_to(20, RNDU)
+        assert lo < x < hi
+
+
+class TestComparison:
+    def test_basic_order(self):
+        one = BigFloat.from_int(1)
+        two = BigFloat.from_int(2)
+        assert one < two
+        assert two > one
+        assert one <= one
+        assert one == one.round_to(100)
+
+    def test_mixed_precision_equality(self):
+        a = BigFloat.from_float(0.5, 24)
+        b = BigFloat.from_float(0.5, 200)
+        assert a == b
+        assert a.compare(b) == 0
+
+    def test_signed_zero_equality(self):
+        assert BigFloat.zero(10) == BigFloat.zero(10, sign=1)
+
+    def test_nan_unordered(self):
+        nan = BigFloat.nan()
+        one = BigFloat.from_int(1)
+        assert not (nan == nan)
+        assert not (nan < one)
+        assert not (nan >= one)
+        with pytest.raises(ValueError):
+            nan.compare(one)
+
+    def test_infinities(self):
+        pinf = BigFloat.inf()
+        ninf = BigFloat.inf(sign=1)
+        x = BigFloat.from_int(10**50, 200)
+        assert ninf < x < pinf
+        assert pinf == BigFloat.inf(100)
+
+    def test_negative_ordering(self):
+        a = BigFloat.from_int(-5)
+        b = BigFloat.from_int(-2)
+        assert a < b
+
+    def test_zero_vs_negative(self):
+        assert BigFloat.from_int(-1) < BigFloat.zero()
+        assert BigFloat.zero() < BigFloat.from_int(1)
+
+
+class TestConversionsOut:
+    def test_to_int_truncates(self):
+        assert BigFloat.from_float(2.9).to_int() == 2
+        assert BigFloat.from_float(-2.9).to_int() == -2
+
+    def test_to_int_errors(self):
+        with pytest.raises(OverflowError):
+            BigFloat.inf().to_int()
+        with pytest.raises(ValueError):
+            BigFloat.nan().to_int()
+
+    def test_to_float_special(self):
+        assert math.isnan(BigFloat.nan().to_float())
+        assert BigFloat.inf().to_float() == math.inf
+        assert math.copysign(1.0, BigFloat.zero(10, 1).to_float()) == -1.0
+
+    def test_exponent(self):
+        assert BigFloat.from_int(1).exponent() == 1  # 1 in [2**0, 2**1)
+        assert BigFloat.from_int(4).exponent() == 3
+        assert BigFloat.from_float(0.5).exponent() == 0
+
+    def test_exponent_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            BigFloat.zero().exponent()
+
+
+class TestSignOps:
+    def test_neg(self):
+        x = BigFloat.from_int(3)
+        assert (-x).to_int() == -3
+        assert (-(-x)) == x
+
+    def test_abs(self):
+        assert abs(BigFloat.from_int(-3)).to_int() == 3
+
+    def test_neg_nan_stays_nan(self):
+        assert (-BigFloat.nan()).is_nan()
+
+    def test_copysign(self):
+        x = BigFloat.from_int(3)
+        y = BigFloat.from_int(-1)
+        assert x.copysign(y).to_int() == -3
+
+
+class TestOperators:
+    def test_operator_sugar(self):
+        a = BigFloat.from_int(3, 100)
+        b = BigFloat.from_int(4, 100)
+        assert (a + b).to_int() == 7
+        assert (a - b).to_int() == -1
+        assert (a * b).to_int() == 12
+        assert float(a / b) == 0.75
+
+    def test_scalar_mixing(self):
+        a = BigFloat.from_int(3, 100)
+        assert (a + 1).to_int() == 4
+        assert (1 + a).to_int() == 4
+        assert (a - 1).to_int() == 2
+        assert (1 - a).to_int() == -2
+        assert (2 * a).to_int() == 6
+        assert float(1 / a) == float(BigFloat.from_fraction(1, 3, 100))
+
+
+@given(finite_floats)
+def test_float_round_trip(x):
+    assert BigFloat.from_float(x, 53).to_float() == x
+
+
+@given(st.integers(min_value=-(10**30), max_value=10**30))
+def test_int_round_trip_at_sufficient_precision(n):
+    assert BigFloat.from_int(n, 120).to_int() == n
+
+
+@given(finite_floats, finite_floats)
+def test_comparison_matches_float(x, y):
+    a, b = BigFloat.from_float(x), BigFloat.from_float(y)
+    assert (a < b) == (x < y)
+    assert (a == b) == (x == y)
+    assert (a > b) == (x > y)

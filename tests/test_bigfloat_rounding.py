@@ -1,0 +1,153 @@
+"""Unit tests for the core rounding step (repro.bigfloat.rounding)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bigfloat.rounding import (
+    RNDA,
+    RNDD,
+    RNDN,
+    RNDU,
+    RNDZ,
+    round_significand,
+)
+
+
+class TestExactValues:
+    def test_fits_exactly(self):
+        mant, exp, inexact = round_significand(0, 0b1011, 0, 4)
+        assert (mant, exp, inexact) == (0b1011, 0, False)
+
+    def test_widens_to_prec(self):
+        mant, exp, inexact = round_significand(0, 0b101, 3, 6)
+        assert mant == 0b101000
+        assert exp == 0  # value preserved: 0b101 * 2**3 == 0b101000 * 2**0
+        assert inexact is False
+
+    def test_rejects_nonpositive_mantissa(self):
+        with pytest.raises(ValueError):
+            round_significand(0, 0, 0, 4)
+        with pytest.raises(ValueError):
+            round_significand(0, -3, 0, 4)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            round_significand(0, 1, 0, 0)
+
+
+class TestNearestEven:
+    def test_round_down_below_half(self):
+        # 0b10001 -> 4 bits: low bit 1 < half? shift=1, low=1, half=1 -> tie
+        # use 0b100001 -> 5 bits to 4: shift 1 low 1 half 1 tie, q even -> down
+        mant, exp, _ = round_significand(0, 0b10001, 0, 4, RNDN)
+        assert mant == 0b1000  # tie to even (q=0b1000 even)
+        assert exp == 1
+
+    def test_tie_to_even_rounds_up_when_odd(self):
+        mant, exp, _ = round_significand(0, 0b10011, 0, 4, RNDN)
+        assert mant == 0b1010  # q=0b1001 odd, tie -> up
+        assert exp == 1
+
+    def test_above_half_rounds_up(self):
+        mant, exp, _ = round_significand(0, 0b100011, 0, 4, RNDN)
+        # shift=2, low=0b11 > half=0b10 -> up
+        assert mant == 0b1001
+        assert exp == 2
+
+    def test_carry_renormalizes(self):
+        mant, exp, _ = round_significand(0, 0b11111, 0, 4, RNDN)
+        # q=0b1111, low=1=half tie, q odd -> up -> 0b10000 -> renorm
+        assert mant == 0b1000
+        assert exp == 2
+
+    def test_sticky_breaks_tie_upward(self):
+        no_sticky, e1, _ = round_significand(0, 0b10001, 0, 4, RNDN, sticky=False)
+        with_sticky, e2, _ = round_significand(0, 0b10001, 0, 4, RNDN, sticky=True)
+        assert no_sticky == 0b1000
+        assert with_sticky == 0b1001
+
+
+class TestDirectedModes:
+    def test_toward_zero_truncates(self):
+        mant, _, _ = round_significand(0, 0b10111, 0, 4, RNDZ)
+        assert mant == 0b1011
+        mant, _, _ = round_significand(1, 0b10111, 0, 4, RNDZ)
+        assert mant == 0b1011
+
+    def test_toward_positive(self):
+        up, _, _ = round_significand(0, 0b10001, 0, 4, RNDU)
+        down, _, _ = round_significand(1, 0b10001, 0, 4, RNDU)
+        assert up == 0b1001  # positive rounds away
+        assert down == 0b1000  # negative truncates
+
+    def test_toward_negative(self):
+        pos, _, _ = round_significand(0, 0b10001, 0, 4, RNDD)
+        neg, _, _ = round_significand(1, 0b10001, 0, 4, RNDD)
+        assert pos == 0b1000
+        assert neg == 0b1001
+
+    def test_nearest_away_tie(self):
+        mant, _, _ = round_significand(0, 0b10001, 0, 4, RNDA)
+        assert mant == 0b1001  # tie goes away from zero regardless of parity
+
+    def test_directed_sticky_only(self):
+        # Exactly representable except for sticky weight below the ulp.
+        mant, exp, inexact = round_significand(0, 0b1000, 0, 4, RNDU, sticky=True)
+        assert mant == 0b1001
+        assert inexact is True
+        mant, _, _ = round_significand(0, 0b1000, 0, 4, RNDZ, sticky=True)
+        assert mant == 0b1000
+
+
+class TestInexactFlag:
+    def test_exact_reports_false(self):
+        assert round_significand(0, 0b1010, 0, 4)[2] is False
+
+    def test_discarded_bits_report_true(self):
+        assert round_significand(0, 0b10101, 0, 4, RNDZ)[2] is True
+
+    def test_sticky_reports_true(self):
+        assert round_significand(0, 0b1010, 0, 4, RNDZ, sticky=True)[2] is True
+
+
+@given(
+    mant=st.integers(min_value=1, max_value=1 << 96),
+    exp=st.integers(min_value=-200, max_value=200),
+    prec=st.integers(min_value=1, max_value=80),
+)
+def test_normalization_invariant(mant, exp, prec):
+    """Result is always normalized to exactly prec bits."""
+    q, _, _ = round_significand(0, mant, exp, prec, RNDN)
+    assert q.bit_length() == prec
+
+
+@given(
+    mant=st.integers(min_value=1, max_value=1 << 96),
+    exp=st.integers(min_value=-200, max_value=200),
+    prec=st.integers(min_value=1, max_value=80),
+)
+def test_directed_bracket_invariant(mant, exp, prec):
+    """RNDD result <= exact value <= RNDU result (for positive inputs)."""
+    qd, ed, _ = round_significand(0, mant, exp, prec, RNDD)
+    qu, eu, _ = round_significand(0, mant, exp, prec, RNDU)
+    # Compare as exact rationals scaled by 2**min_exp.
+    m = min(ed, eu, exp)
+    exact = mant << (exp - m)
+    low = qd << (ed - m)
+    high = qu << (eu - m)
+    assert low <= exact <= high
+
+
+@given(
+    mant=st.integers(min_value=1, max_value=1 << 96),
+    exp=st.integers(min_value=-200, max_value=200),
+    prec=st.integers(min_value=2, max_value=80),
+)
+def test_nearest_is_within_half_ulp(mant, exp, prec):
+    qn, en, _ = round_significand(0, mant, exp, prec, RNDN)
+    m = min(en, exp)
+    exact = mant << (exp - m)
+    rounded = qn << (en - m)
+    ulp = 1 << (en - m)
+    assert abs(rounded - exact) * 2 <= ulp

@@ -1,0 +1,193 @@
+"""Variable-precision BLAS, matrices, and the CG solver (Fig. 3 core)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat
+from repro.blas import (
+    BlasOps,
+    vaxpy,
+    vcopy,
+    vdot,
+    vfrom,
+    vgemv,
+    vnorm2,
+    vscal,
+    vzero,
+)
+from repro.solvers import (
+    CSRMatrix,
+    bcsstk20_like,
+    condition_estimate,
+    conjugate_gradient,
+    from_coordinates,
+    load_matrix_market,
+    precision_sweep,
+    rhs_for,
+    save_matrix_market,
+)
+
+
+def bf(x, prec=200):
+    return BigFloat.from_value(x, prec)
+
+
+class TestBlas:
+    def test_vaxpy(self):
+        y = vaxpy(100, bf(2), vfrom([1, 2, 3], 100), vfrom([10, 20, 30], 100))
+        assert [v.to_float() for v in y] == [12.0, 24.0, 36.0]
+
+    def test_vscal(self):
+        x = vscal(100, bf(0.5), vfrom([2, 4], 100))
+        assert [v.to_float() for v in x] == [1.0, 2.0]
+
+    def test_vdot(self):
+        assert vdot(100, vfrom([1, 2, 3], 100),
+                    vfrom([4, 5, 6], 100)).to_float() == 32.0
+
+    def test_vnorm2(self):
+        assert vnorm2(100, vfrom([3, 4], 100)).to_float() == 5.0
+
+    def test_vgemv_identity(self):
+        eye = from_coordinates(3, 3, {(i, i): 1.0 for i in range(3)})
+        x = vfrom([1, 2, 3], 120)
+        y = vgemv(120, bf(1), eye, x, bf(0), vzero(3, 120))
+        assert [v.to_float() for v in y] == [1.0, 2.0, 3.0]
+
+    def test_vgemv_alpha_beta(self):
+        a = from_coordinates(2, 2, {(0, 0): 1.0, (0, 1): 2.0,
+                                    (1, 0): 3.0, (1, 1): 4.0})
+        x = vfrom([1, 1], 120)
+        y = vfrom([10, 10], 120)
+        out = vgemv(120, bf(2), a, x, bf(0.5), y)
+        assert [v.to_float() for v in out] == [2 * 3 + 5, 2 * 7 + 5]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            vdot(100, vfrom([1], 100), vfrom([1, 2], 100))
+        with pytest.raises(ValueError):
+            vaxpy(100, bf(1), vfrom([1], 100), vfrom([1, 2], 100))
+
+    def test_ops_accounting(self):
+        ops = BlasOps()
+        vaxpy(100, bf(2), vfrom([1] * 5, 100), vfrom([1] * 5, 100), ops)
+        assert ops.muls == 5
+        assert ops.adds == 5
+        cycles_low = ops.cycles(100)
+        cycles_high = ops.cycles(500)
+        assert cycles_high > cycles_low
+        assert ops.cycles(100, per_op_temp=True) > cycles_low
+
+    @given(st.integers(min_value=64, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_dot_precision_consistency(self, prec):
+        """Dot at any precision within 1 ulp-ish of exact rational."""
+        x = vfrom([0.1, 0.2, 0.3], prec)
+        y = vfrom([3.0, 2.0, 1.0], prec)
+        got = vdot(prec, x, y).to_float()
+        assert got == pytest.approx(0.3 + 0.4 + 0.3, rel=1e-12)
+
+
+class TestMatrices:
+    def test_bcsstk20_like_is_spd_shaped(self):
+        a = bcsstk20_like(n=24, condition=1e8)
+        assert a.nrows == a.ncols == 24
+        dense = a.to_dense()
+        for i in range(24):
+            assert dense[i][i] > 0
+            for j in range(24):
+                assert dense[i][j] == dense[j][i]
+            # Diagonally dominant by construction.
+            off = sum(abs(dense[i][j]) for j in range(24) if j != i)
+            assert dense[i][i] > off
+
+    def test_condition_grows_with_parameter(self):
+        low = condition_estimate(bcsstk20_like(n=24, condition=1e4))
+        high = condition_estimate(bcsstk20_like(n=24, condition=1e10))
+        assert high > low * 100
+
+    def test_deterministic(self):
+        a = bcsstk20_like(n=16)
+        b = bcsstk20_like(n=16)
+        assert a.data == b.data
+
+    def test_matrix_market_round_trip(self, tmp_path):
+        a = bcsstk20_like(n=12, condition=1e6)
+        path = tmp_path / "test.mtx"
+        save_matrix_market(a, str(path), comment="fixture")
+        b = load_matrix_market(str(path))
+        assert b.nrows == a.nrows
+        assert b.to_dense() == a.to_dense()
+
+    def test_matrix_market_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n1 2 3\n")
+        with pytest.raises(ValueError):
+            load_matrix_market(str(path))
+
+    def test_csr_matvec(self):
+        a = from_coordinates(2, 2, {(0, 0): 2.0, (1, 1): 3.0})
+        assert a.matvec([1.0, 1.0]) == [2.0, 3.0]
+        assert a.nnz == 2
+
+
+class TestConjugateGradient:
+    def setup_method(self):
+        self.matrix = bcsstk20_like(n=24, condition=1e6)
+        self.b = rhs_for(self.matrix)
+
+    def test_converges_and_solves(self):
+        result = conjugate_gradient(self.matrix, self.b, 200,
+                                    tolerance=1e-10)
+        assert result.converged
+        # Verify A x ~ b in plain floats.
+        x = [v.to_float() for v in result.x]
+        ax = self.matrix.matvec(x)
+        scale = max(abs(v) for v in self.b)
+        for got, want in zip(ax, self.b):
+            assert got == pytest.approx(want, abs=1e-6 * max(1.0, scale))
+
+    def test_higher_precision_fewer_iterations(self):
+        """The paper's Fig. 3 headline claim."""
+        low = conjugate_gradient(self.matrix, self.b, 60, tolerance=1e-8)
+        high = conjugate_gradient(self.matrix, self.b, 300,
+                                  tolerance=1e-8)
+        assert high.iterations < low.iterations
+
+    def test_residual_history_decreases_overall(self):
+        result = conjugate_gradient(self.matrix, self.b, 200,
+                                    tolerance=1e-10)
+        history = result.residual_history
+        assert history[-1] < history[0]
+
+    def test_op_counts_scale_with_iterations(self):
+        low = conjugate_gradient(self.matrix, self.b, 60, tolerance=1e-8)
+        high = conjugate_gradient(self.matrix, self.b, 300,
+                                  tolerance=1e-8)
+        assert low.ops.muls > high.ops.muls
+
+    def test_modeled_costs_ordering(self):
+        result = conjugate_gradient(self.matrix, self.b, 200,
+                                    tolerance=1e-8)
+        vp = result.modeled_cycles()
+        boost = result.modeled_cycles(per_op_temp=True)
+        julia = result.modeled_cycles(overhead_factor=9.0)
+        assert boost > vp
+        assert julia == pytest.approx(9 * vp)
+
+    def test_sweep_shapes(self):
+        points = precision_sweep(self.matrix, self.b,
+                                 (60, 120, 300), tolerance=1e-8)
+        iterations = [p.iterations for p in points]
+        assert iterations == sorted(iterations, reverse=True)
+        assert all(p.cycles_boost > p.cycles_vpfloat for p in points)
+
+    def test_x0_start(self):
+        result = conjugate_gradient(self.matrix, self.b, 200,
+                                    tolerance=1e-10)
+        warm = conjugate_gradient(self.matrix, self.b, 200,
+                                  tolerance=1e-10, x0=result.x)
+        assert warm.iterations <= 1

@@ -1,0 +1,123 @@
+"""Interpreter failure modes and resource guards."""
+
+import pytest
+
+from repro import compile_source
+from repro.runtime import ExecutionLimitExceeded, VPRuntimeError
+from repro.runtime.memory import MemoryError_
+
+
+class TestTraps:
+    def test_division_by_zero(self):
+        program = compile_source("int f(int n) { return 1 / n; }",
+                                 backend="none")
+        with pytest.raises(VPRuntimeError, match="division by zero"):
+            program.run("f", [0])
+
+    def test_remainder_by_zero(self):
+        program = compile_source("int f(int n) { return 1 % n; }",
+                                 backend="none")
+        with pytest.raises(VPRuntimeError, match="remainder by zero"):
+            program.run("f", [0])
+
+    def test_null_pointer_store(self):
+        source = """
+        void f(double *p) { p[0] = 1.0; }
+        """
+        program = compile_source(source, backend="none")
+        with pytest.raises(MemoryError_, match="null pointer"):
+            program.run("f", [0])
+
+    def test_negative_vla_extent(self):
+        source = """
+        double f(int n) {
+          double A[n];
+          return A[0];
+        }
+        """
+        program = compile_source(source, backend="none")
+        with pytest.raises(VPRuntimeError, match="negative VLA extent"):
+            program.run("f", [-3])
+
+    def test_fp_division_by_zero_is_ieee(self):
+        """FP division by zero does NOT trap: it produces infinity."""
+        program = compile_source(
+            "double f(double x) { return 1.0 / x; }", backend="none")
+        assert program.run("f", [0.0]).value == float("inf")
+
+    def test_execution_limit(self):
+        source = """
+        int f() {
+          int i = 0;
+          while (1) i++;
+          return i;
+        }
+        """
+        program = compile_source(source, backend="none")
+        with pytest.raises(ExecutionLimitExceeded):
+            program.run("f", [], max_steps=10_000)
+
+    def test_unknown_runtime_function(self):
+        from repro.codegen import generate_ir
+        from repro.ir import FunctionType, Function, IRBuilder, VOID
+        from repro.runtime import Interpreter
+        from repro.ir import Module
+
+        module = Module("m")
+        mystery = module.add_function(
+            Function("mystery", FunctionType(VOID, [])))
+        caller = module.add_function(
+            Function("f", FunctionType(VOID, [])))
+        builder = IRBuilder(caller.add_block("entry"))
+        builder.call(mystery, [], name="")
+        builder.ret()
+        with pytest.raises(VPRuntimeError, match="unknown runtime function"):
+            Interpreter(module).run("f")
+
+    def test_free_of_wild_pointer(self):
+        source = """
+        void f(long addr) { free((char*)addr); }
+        """
+        program = compile_source(source, backend="none")
+        with pytest.raises(MemoryError_, match="non-heap"):
+            program.run("f", [0x12345])
+
+    def test_double_free_caught(self):
+        source = """
+        void f(int n) {
+          char *p = (char*)malloc(n);
+          free(p);
+          free(p);
+        }
+        """
+        program = compile_source(source, backend="none")
+        with pytest.raises(MemoryError_):
+            program.run("f", [16])
+
+
+class TestIODispatch:
+    def test_print_builtins_capture_stdout(self):
+        source = """
+        void f() {
+          print_int(42);
+          print_double(2.5);
+          vpfloat<mpfr, 16, 100> x = 1.5;
+          print_vpfloat(x);
+        }
+        """
+        program = compile_source(source, backend="none")
+        result = program.run("f", [])
+        assert result.stdout[0] == "42"
+        assert result.stdout[1] == "2.5"
+        assert result.stdout[2].startswith("1.5")
+
+    def test_print_vpfloat_after_mpfr_lowering(self):
+        source = """
+        void f() {
+          vpfloat<mpfr, 16, 100> x = 1.5;
+          print_vpfloat(x);
+        }
+        """
+        program = compile_source(source, backend="mpfr")
+        result = program.run("f", [])
+        assert result.stdout[0].startswith("1.5")

@@ -1,0 +1,114 @@
+"""Lexer: tokens, literals, suffixes, comments, pragmas."""
+
+import pytest
+
+from repro.lang import SourceError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_and_identifiers(self):
+        tokens = kinds("int x; vpfloat y; double z2;")
+        assert tokens[0] == (TokenKind.KEYWORD, "int")
+        assert tokens[1] == (TokenKind.IDENT, "x")
+        assert tokens[3] == (TokenKind.KEYWORD, "vpfloat")
+        assert tokens[6] == (TokenKind.KEYWORD, "double")
+        assert tokens[7] == (TokenKind.IDENT, "z2")
+
+    def test_punctuation_longest_match(self):
+        texts = [t.text for t in tokenize("a<<=b>=c&&d++ e->f")[:-1]]
+        assert "<<=" in texts
+        assert ">=" in texts
+        assert "&&" in texts
+        assert "++" in texts
+        assert "->" in texts
+
+    def test_eof_token(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_positions(self):
+        tokens = tokenize("int\n  x;")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestNumbers:
+    def test_int_literals(self):
+        tokens = tokenize("42 0x1F 0")
+        assert [t.text for t in tokens[:-1]] == ["42", "0x1F", "0"]
+        assert all(t.kind is TokenKind.INT_LIT for t in tokens[:-1])
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 .5 2e10 3.25E-2")
+        assert all(t.kind is TokenKind.FLOAT_LIT for t in tokens[:-1])
+
+    def test_vpfloat_suffixes(self):
+        """The paper's v (unum) and y (mpfr) literal suffixes."""
+        tokens = tokenize("1.3v 1.3y 2.0f 7u")
+        assert tokens[0].suffix == "v"
+        assert tokens[0].kind is TokenKind.FLOAT_LIT
+        assert tokens[1].suffix == "y"
+        assert tokens[2].suffix == "f"
+        assert tokens[3].suffix == "u"
+        assert tokens[3].kind is TokenKind.INT_LIT
+
+    def test_integer_with_v_suffix_is_float(self):
+        token = tokenize("5v")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.suffix == "v"
+
+    def test_zero_at_end_of_input(self):
+        """Regression: '0' as the last character must not be read as the
+        start of a hex literal ('"" in "xX"' is True in Python, which
+        once sent the lexer into an infinite loop here)."""
+        assert tokenize("0")[0].text == "0"
+        assert [t.text for t in tokenize("return 0")[:-1]] == \
+            ["return", "0"]
+
+    def test_bare_hex_prefix(self):
+        tokens = tokenize("0x")
+        assert tokens[0].text == "0x"  # consumed, no digits: still a token
+
+    def test_malformed_hex_diagnosed_by_parser(self):
+        from repro.lang import SourceError, parse
+
+        with pytest.raises(SourceError, match="malformed integer"):
+            parse("int x = 0x;")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [(TokenKind.IDENT, "a"),
+                                            (TokenKind.IDENT, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [(TokenKind.IDENT, "a"),
+                                           (TokenKind.IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SourceError):
+            tokenize("a /* never closed")
+
+    def test_pragma_token(self):
+        tokens = tokenize("#pragma omp parallel for\nint x;")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].text == "omp parallel for"
+
+    def test_other_directives_skipped(self):
+        tokens = tokenize("#include <stdio.h>\nint x;")
+        assert tokens[0].is_keyword("int")
+
+    def test_string_literal(self):
+        token = tokenize(r'"hi\nthere"')[0]
+        assert token.kind is TokenKind.STRING_LIT
+        assert token.text == "hi\nthere"
+
+    def test_unexpected_character(self):
+        with pytest.raises(SourceError):
+            tokenize("int $x;")

@@ -1,0 +1,201 @@
+"""Coprocessor architectural model: control regs, memory ops, timing."""
+
+import pytest
+
+from repro.bigfloat import BigFloat
+from repro.unum import (
+    CoprocessorError,
+    GCycleModel,
+    GLayerError,
+    GLayerUnit,
+    MemorySubsystemErratum,
+    UnumCoprocessor,
+)
+
+
+class FlatMemory:
+    """Minimal byte-addressed memory for coprocessor tests."""
+
+    def __init__(self, size=4096):
+        self.data = bytearray(size)
+
+    def load_bytes(self, address, n):
+        return bytes(self.data[address:address + n])
+
+    def store_bytes(self, address, payload):
+        self.data[address:address + len(payload)] = payload
+
+
+@pytest.fixture()
+def cop():
+    c = UnumCoprocessor(wgp=128)
+    c.set_ess(3)
+    c.set_fss(6)
+    return c
+
+
+class TestGLayer:
+    def test_wgp_bounds(self):
+        with pytest.raises(GLayerError):
+            GLayerUnit(0)
+        with pytest.raises(GLayerError):
+            GLayerUnit(513)
+        GLayerUnit(512)  # max is legal
+
+    def test_arithmetic_rounds_to_wgp(self):
+        g = GLayerUnit(64)
+        a = BigFloat.from_int(1, 300)
+        b = BigFloat.from_int(3, 300)
+        assert g.div(a, b).prec == 64
+
+    def test_cycle_scaling_with_precision(self):
+        model = GCycleModel()
+        assert model.mul(512) > model.mul(64)
+        assert model.add(512) > model.add(64)
+        assert model.div(512) > model.div(64)
+        # Multiply is quadratic in words, add linear.
+        assert (model.mul(512) - model.mul_base) == (
+            (model.mul(64) - model.mul_base) * 64
+        )
+
+    def test_cycles_accumulate(self):
+        g = GLayerUnit(128)
+        a = BigFloat.from_int(2, 128)
+        g.add(a, a)
+        g.mul(a, a)
+        assert g.cycles == g.cycle_model.add(128) + g.cycle_model.mul(128)
+
+
+class TestControlRegisters:
+    def test_memory_access_requires_config(self):
+        cop = UnumCoprocessor()
+        with pytest.raises(CoprocessorError):
+            cop.load(0, FlatMemory(), 0)
+
+    def test_wgp_update(self, cop):
+        cop.set_wgp(512)
+        assert cop.glayer.wgp == 512
+
+    def test_mbb_truncates_memory_format(self, cop):
+        assert cop.memory_config().size_bytes == 11  # unum<3,6> default
+        cop.set_mbb(6)
+        assert cop.memory_config().size_bytes == 6
+        assert cop.memory_config().fraction_bits == 29
+
+    def test_mbb_larger_than_format_is_harmless(self, cop):
+        cop.set_mbb(64)
+        assert cop.memory_config().size_bytes == 11
+
+    def test_bad_mbb(self, cop):
+        with pytest.raises(CoprocessorError):
+            cop.set_mbb(0)
+        with pytest.raises(CoprocessorError):
+            cop.set_mbb(69)
+
+
+class TestRegisterFile:
+    def test_read_uninitialized_raises(self, cop):
+        with pytest.raises(CoprocessorError):
+            cop.read(5)
+
+    def test_out_of_range(self, cop):
+        with pytest.raises(CoprocessorError):
+            cop.read(32)
+        with pytest.raises(CoprocessorError):
+            cop.write(-1, BigFloat.zero())
+
+    def test_mov(self, cop):
+        cop.gcvt_d2g(1, 2.5)
+        cop.gmov(2, 1)
+        assert cop.gcvt_g2d(2) == 2.5
+
+
+class TestArithmeticInstructions:
+    def test_three_address_ops(self, cop):
+        cop.gcvt_d2g(1, 6.0)
+        cop.gcvt_d2g(2, 2.0)
+        cop.gadd(3, 1, 2)
+        assert cop.gcvt_g2d(3) == 8.0
+        cop.gsub(3, 1, 2)
+        assert cop.gcvt_g2d(3) == 4.0
+        cop.gmul(3, 1, 2)
+        assert cop.gcvt_g2d(3) == 12.0
+        cop.gdiv(3, 1, 2)
+        assert cop.gcvt_g2d(3) == 3.0
+
+    def test_fma_and_sqrt(self, cop):
+        cop.gcvt_d2g(1, 3.0)
+        cop.gcvt_d2g(2, 4.0)
+        cop.gcvt_d2g(3, 5.0)
+        cop.gfma(4, 1, 2, 3)
+        assert cop.gcvt_g2d(4) == 17.0
+        cop.gcvt_d2g(5, 16.0)
+        cop.gsqrt(6, 5)
+        assert cop.gcvt_g2d(6) == 4.0
+
+    def test_cmp(self, cop):
+        cop.gcvt_d2g(1, 1.0)
+        cop.gcvt_d2g(2, 2.0)
+        assert cop.gcmp(1, 2) < 0
+        assert cop.gcmp(2, 1) > 0
+        assert cop.gcmp(1, 1) == 0
+
+    def test_int_conversion(self, cop):
+        cop.gcvt_i2g(1, -17)
+        assert cop.gcvt_g2d(1) == -17.0
+
+    def test_opcode_stats(self, cop):
+        cop.gcvt_d2g(1, 1.0)
+        cop.gadd(2, 1, 1)
+        cop.gadd(3, 2, 2)
+        assert cop.stats.by_opcode["gadd"] == 2
+        assert cop.stats.by_opcode["gcvt.d.g"] == 1
+
+
+class TestMemoryInstructions:
+    def test_store_load_round_trip(self, cop):
+        mem = FlatMemory()
+        cop.gcvt_d2g(1, 1.3)
+        cop.store(1, mem, 128)
+        cop.load(2, mem, 128)
+        assert cop.gcvt_g2d(2) == pytest.approx(1.3, rel=1e-15)
+        assert cop.stats.bytes_stored == 11
+        assert cop.stats.bytes_loaded == 11
+
+    def test_mbb_bounds_bytes_moved(self, cop):
+        mem = FlatMemory()
+        cop.set_mbb(6)
+        cop.gcvt_d2g(1, 1.3)
+        cop.store(1, mem, 0)
+        assert cop.stats.bytes_stored == 6
+        cop.load(2, mem, 0)
+        # 29 fraction bits survive: relative error about 2**-29.
+        assert cop.gcvt_g2d(2) == pytest.approx(1.3, rel=1e-8)
+
+    def test_memory_cost_scales_with_bytes(self):
+        wide = UnumCoprocessor(wgp=512)
+        wide.set_ess(4)
+        wide.set_fss(9)
+        narrow = UnumCoprocessor(wgp=512)
+        narrow.set_ess(3)
+        narrow.set_fss(6)
+        mem = FlatMemory()
+        wide.gcvt_d2g(1, 1.0)
+        narrow.gcvt_d2g(1, 1.0)
+        w0, n0 = wide.cycles, narrow.cycles
+        wide.store(1, mem, 0)
+        narrow.store(1, mem, 256)
+        assert wide.cycles - w0 > narrow.cycles - n0
+
+    def test_erratum_triggers_on_wide_bursts(self):
+        cop = UnumCoprocessor(wgp=512, erratum_enabled=True)
+        cop.set_ess(4)
+        cop.set_fss(9)  # 68-byte format: beyond the erratum's 64-byte limit
+        cop.gcvt_d2g(1, 1.0)
+        with pytest.raises(MemorySubsystemErratum):
+            cop.store(1, FlatMemory(), 0)
+
+    def test_erratum_disabled_by_default(self, cop):
+        mem = FlatMemory()
+        cop.gcvt_d2g(1, 1.0)
+        cop.store(1, mem, 0)  # must not raise

@@ -1,0 +1,197 @@
+"""UNUM format codec: geometry (Table II), literals (Table III), round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bigfloat import RNDD, RNDU, BigFloat, from_str
+from repro.unum import (
+    UnumConfig,
+    UnumConfigError,
+    chunked_hex,
+    decode,
+    encode,
+    extract_fields,
+    mpfr_literal_bits,
+    paper_literal_bits,
+    sizeof_vpfloat,
+)
+
+
+class TestGeometryTableII:
+    """Exactly the five rows of paper Table II."""
+
+    @pytest.mark.parametrize(
+        "ess,fss,size,exp_bits,prec_bits,size_bytes",
+        [
+            (3, 6, None, 8, 64, 11),
+            (3, 6, 6, 8, 29, 6),
+            (3, 8, 60, 8, 256, 60),
+            (4, 9, 20, 16, 129, 20),
+            (4, 9, None, 16, 512, 68),
+        ],
+    )
+    def test_row(self, ess, fss, size, exp_bits, prec_bits, size_bytes):
+        c = UnumConfig(ess, fss, size)
+        assert c.exponent_bits == exp_bits
+        assert c.fraction_bits == prec_bits
+        assert c.size_bytes == size_bytes
+
+    def test_max_configuration(self):
+        c = UnumConfig(4, 9)
+        assert c.exponent_bits == 16
+        assert c.fraction_bits == 512
+        assert c.size_bytes == 68  # the ISA's 68-byte ceiling
+
+    def test_non_power_of_two_sizes(self):
+        """The toolchain supports byte-granular sizes (paper: 25, 67 bytes)."""
+        c25 = UnumConfig(4, 9, 25)
+        assert c25.size_bytes == 25
+        assert c25.fraction_bits == 25 * 8 - (2 + 16 + 4 + 9)
+        c67 = UnumConfig(4, 9, 67)
+        assert c67.size_bytes == 67
+        assert c67.fraction_bits == 505
+
+    def test_attribute_range_validation(self):
+        with pytest.raises(UnumConfigError):
+            UnumConfig(0, 5)
+        with pytest.raises(UnumConfigError):
+            UnumConfig(5, 5)
+        with pytest.raises(UnumConfigError):
+            UnumConfig(2, 10)
+        with pytest.raises(UnumConfigError):
+            UnumConfig(2, 5, 0)
+        with pytest.raises(UnumConfigError):
+            UnumConfig(2, 5, 69)
+
+    def test_size_too_small_for_fields(self):
+        with pytest.raises(UnumConfigError):
+            UnumConfig(4, 9, 3)  # tag+exponent alone exceed 3 bytes
+
+    def test_sizeof_vpfloat_runtime_entry(self):
+        assert sizeof_vpfloat(3, 6) == 11
+        assert sizeof_vpfloat(3, 6, 6) == 6
+        with pytest.raises(UnumConfigError):
+            sizeof_vpfloat(7, 3)
+
+
+class TestLiteralsTableIII:
+    """The hex encodings of 1.3 published in paper Table III."""
+
+    def setup_method(self):
+        self.value = from_str("1.3", 600)
+
+    def test_unum_3_6_6(self):
+        c = UnumConfig(3, 6, 6)
+        bits = paper_literal_bits(self.value, c)
+        assert chunked_hex(bits, c.total_bits, "V") == "0xV001FE999999A"
+
+    def test_mpfr_8_48(self):
+        bits = mpfr_literal_bits(self.value, 8, 48)
+        # Fields: sign=0, stored exponent 0xFF, fraction 0.3 * 2**48.
+        assert bits >> 48 == 0xFF
+        assert bits & ((1 << 48) - 1) == 0x4CCCCCCCCCCD
+
+    def test_mpfr_8_64(self):
+        bits = mpfr_literal_bits(self.value, 8, 64)
+        text = chunked_hex(bits, 1 + 8 + 64, "Y")
+        assert text == "0xY4CCCCCCCCCCCCCCD0FF"
+
+    def test_mpfr_16_100(self):
+        bits = mpfr_literal_bits(self.value, 16, 100)
+        assert (bits >> 100) == 0xFFFF  # biased exponent field
+        frac = bits & ((1 << 100) - 1)
+        # fraction = round(0.3 * 2**100)
+        assert frac == (3 * (1 << 100) + 5) // 10
+
+    def test_unum_4_9_20_tail_fields(self):
+        c = UnumConfig(4, 9, 20)
+        bits = paper_literal_bits(self.value, c)
+        # The paper's displayed value ends ...0001FFFE: stored exponent
+        # 0xFFFF sits just above the 129-bit fraction.
+        assert (bits >> 129) & 0xFFFF == 0xFFFF
+        assert (bits >> 145) == 0  # utag fields reserved as zero
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("ess,fss,size", [(3, 6, None), (3, 6, 6),
+                                              (4, 9, 20)])
+    @pytest.mark.parametrize("x", [1.3, -2.5, 0.1, 1e10, -1e-10, 3.14159, 1.0])
+    def test_float_round_trip(self, ess, fss, size, x):
+        c = UnumConfig(ess, fss, size)
+        v = BigFloat.from_float(x, c.precision)
+        assert float(decode(encode(v, c), c)) == pytest.approx(x, rel=2e-7)
+
+    def test_small_format_round_trip(self):
+        c = UnumConfig(2, 4)  # 4 exponent bits, 16 fraction bits
+        for x in (1.3, -2.5, 0.1, 1.0):
+            v = BigFloat.from_float(x, c.precision)
+            got = float(decode(encode(v, c), c))
+            assert got == pytest.approx(x, rel=2.0 ** -(c.fraction_bits - 1))
+
+    def test_exact_round_trip_at_format_precision(self):
+        c = UnumConfig(3, 6)
+        v = BigFloat.from_float(1.25, c.precision)
+        assert decode(encode(v, c), c) == v
+
+    def test_specials(self):
+        c = UnumConfig(2, 5)
+        assert decode(encode(BigFloat.nan(), c), c).is_nan()
+        assert decode(encode(BigFloat.inf(), c), c).is_inf()
+        ninf = decode(encode(BigFloat.inf(53, 1), c), c)
+        assert ninf.is_inf() and ninf.sign == 1
+        nz = decode(encode(BigFloat.zero(53, 1), c), c)
+        assert nz.is_zero() and nz.sign == 1
+
+    def test_overflow_saturates_to_inf(self):
+        c = UnumConfig(1, 3)  # 2 exponent bits: tiny range
+        big = BigFloat.from_float(1e30, 64)
+        assert decode(encode(big, c), c).is_inf()
+
+    def test_underflow_to_subnormal_then_zero(self):
+        c = UnumConfig(2, 4)  # 4 exponent bits, bias 7
+        tiny = BigFloat.from_fraction(1, 1 << 9, 32)  # subnormal range
+        d = decode(encode(tiny, c), c)
+        assert not d.is_zero()
+        assert float(d) == pytest.approx(2.0**-9)
+        vanishing = BigFloat.from_fraction(1, 1 << 100, 32)
+        assert decode(encode(vanishing, c), c).is_zero()
+
+    def test_directed_rounding_on_encode(self):
+        c = UnumConfig(3, 3)  # 8 fraction bits
+        v = from_str("1.3", 200)
+        lo = decode(encode(v, c, RNDD), c)
+        hi = decode(encode(v, c, RNDU), c)
+        assert lo < v < hi
+
+    def test_fields_extraction(self):
+        c = UnumConfig(3, 6, 6)
+        v = BigFloat.from_float(1.5, c.precision)
+        fields = extract_fields(encode(v, c), c)
+        assert fields["sign"] == 0
+        assert fields["ubit"] == 0
+        assert fields["es_minus_1"] == c.exponent_bits - 1
+        assert fields["fs_minus_1"] == c.fraction_bits - 1
+        assert fields["biased_exponent"] == c.bias  # exponent 0
+        assert fields["fraction"] == 1 << (c.fraction_bits - 1)  # .5
+
+
+@given(
+    st.floats(allow_nan=False, allow_infinity=False, allow_subnormal=False,
+              min_value=-1e30, max_value=1e30).filter(lambda x: x != 0),
+)
+def test_decode_encode_is_identity_on_representable(x):
+    """encode(decode(bits)) == bits for values already in the format."""
+    c = UnumConfig(3, 6)
+    v = BigFloat.from_float(x, c.precision)
+    bits = encode(v, c)
+    assert encode(decode(bits, c), c) == bits
+
+
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=9))
+def test_default_size_formula(ess, fss):
+    """Default size matches ceil((2 + es + 2**fss + ess + fss) / 8)."""
+    c = UnumConfig(ess, fss)
+    expected = (2 + (1 << ess) + (1 << fss) + ess + fss + 7) // 8
+    assert c.size_bytes == expected
+    assert c.size_bytes <= 68

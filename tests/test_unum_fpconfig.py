@@ -1,0 +1,132 @@
+"""FP configuration pass: sucfg placement across CFGs."""
+
+import pytest
+
+from repro.backends.unum_backend.asm import (
+    AsmFunction,
+    AsmInst,
+    Imm,
+    Label,
+    VReg,
+)
+from repro.backends.unum_backend.fpconfig import FPConfigurationPass
+
+
+def configs_in(block):
+    return [i.opcode for i in block.instructions
+            if i.opcode.startswith("sucfg")]
+
+
+def gop(dest, a, b, config):
+    return AsmInst("gadd", [VReg("g", dest), VReg("g", a), VReg("g", b)],
+                   config=config)
+
+
+CONF_A = (3, 6, 65, 11)
+CONF_B = (4, 9, 513, 68)
+
+
+class TestSingleConfig:
+    def test_hoisted_once_to_entry(self):
+        func = AsmFunction("f")
+        entry = func.add_block("entry")
+        loop = func.add_block("loop")
+        entry.append(AsmInst("j", [Label("loop")]))
+        loop.append(gop(1, 2, 3, CONF_A))
+        loop.append(gop(4, 1, 1, CONF_A))
+        loop.append(AsmInst("blt", [VReg("x", 1), Imm(10), Label("loop")]))
+        loop.append(AsmInst("ret", []))
+        inserted = FPConfigurationPass(func).run()
+        assert inserted == 4  # ess, fss, wgp, mbb once
+        assert configs_in(entry) == ["sucfg.ess", "sucfg.fss",
+                                     "sucfg.wgp", "sucfg.mbb"]
+        assert configs_in(loop) == []
+
+    def test_no_g_instructions_no_config(self):
+        func = AsmFunction("f")
+        entry = func.add_block("entry")
+        entry.append(AsmInst("li", [VReg("x", 1), Imm(0)]))
+        entry.append(AsmInst("ret", []))
+        assert FPConfigurationPass(func).run() == 0
+
+
+class TestMultiConfig:
+    def test_reconfigures_between_types(self):
+        func = AsmFunction("f")
+        entry = func.add_block("entry")
+        entry.append(gop(1, 2, 3, CONF_A))
+        entry.append(gop(4, 5, 6, CONF_B))
+        entry.append(gop(7, 4, 4, CONF_B))  # same as previous: no change
+        entry.append(AsmInst("ret", []))
+        FPConfigurationPass(func).run()
+        ops = [i.opcode for i in entry.instructions]
+        # Config A before first op, config B before second, none before
+        # the third.
+        first_gadd = ops.index("gadd")
+        assert "sucfg.ess" in ops[:first_gadd]
+        second_region = ops[first_gadd + 1:]
+        assert "sucfg.fss" in second_region
+        assert ops.count("sucfg.fss") == 2
+
+    def test_changed_fields_only(self):
+        """Config changes emit writes only for the differing fields."""
+        conf_a = (4, 6, 65, 12)
+        conf_b = (4, 9, 513, 68)  # same ess, different fss/wgp/mbb
+        func = AsmFunction("f")
+        entry = func.add_block("entry")
+        entry.append(gop(1, 2, 3, conf_a))
+        entry.append(gop(4, 5, 6, conf_b))
+        entry.append(AsmInst("ret", []))
+        FPConfigurationPass(func).run()
+        ops = [i.opcode for i in entry.instructions]
+        assert ops.count("sucfg.ess") == 1  # unchanged field written once
+        assert ops.count("sucfg.fss") == 2
+
+    def test_branch_merge_reconfigures_conservatively(self):
+        """Two sides of a branch using different configs: the merge block
+        cannot assume either, so its g-op re-configures."""
+        func = AsmFunction("f")
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        right = func.add_block("right")
+        merge = func.add_block("merge")
+        entry.append(AsmInst("beq", [VReg("x", 1), Imm(0), Label("left")]))
+        entry.append(AsmInst("j", [Label("right")]))
+        left.append(gop(1, 2, 3, CONF_A))
+        left.append(AsmInst("j", [Label("merge")]))
+        right.append(gop(4, 5, 6, CONF_B))
+        right.append(AsmInst("j", [Label("merge")]))
+        merge.append(gop(7, 8, 9, CONF_A))
+        merge.append(AsmInst("ret", []))
+        FPConfigurationPass(func).run()
+        assert configs_in(merge)  # must re-establish the configuration
+
+    def test_agreeing_predecessors_skip_reconfig(self):
+        func = AsmFunction("f")
+        entry = func.add_block("entry")
+        left = func.add_block("left")
+        right = func.add_block("right")
+        merge = func.add_block("merge")
+        entry.append(AsmInst("beq", [VReg("x", 1), Imm(0), Label("left")]))
+        entry.append(AsmInst("j", [Label("right")]))
+        left.append(gop(1, 2, 3, CONF_A))
+        left.append(AsmInst("j", [Label("merge")]))
+        right.append(gop(4, 5, 6, CONF_A))
+        right.append(AsmInst("j", [Label("merge")]))
+        merge.append(gop(7, 8, 9, CONF_A))
+        merge.append(AsmInst("ret", []))
+        FPConfigurationPass(func).run()
+        assert configs_in(merge) == []
+
+    def test_dynamic_config_uses_wgpu(self):
+        fss_reg = VReg("x", 5)
+        dynamic = (4, fss_reg, "dynamic", 0)
+        func = AsmFunction("f")
+        func.arg_registers.append((fss_reg, "x"))
+        entry = func.add_block("entry")
+        entry.append(gop(1, 2, 3, dynamic))
+        entry.append(AsmInst("ret", []))
+        FPConfigurationPass(func).run()
+        ops = [i.opcode for i in entry.instructions]
+        assert "sucfg.wgpu" in ops  # runtime WGP derivation
+        assert "sucfg.fss" in ops

@@ -1,0 +1,142 @@
+"""UNUM backend internals: asm structures, liveness, allocation."""
+
+import pytest
+
+from repro.backends.unum_backend.asm import (
+    AsmBlock,
+    AsmFunction,
+    AsmInst,
+    Imm,
+    Label,
+    PReg,
+    StackSlot,
+    VReg,
+)
+from repro.backends.unum_backend.regalloc import LinearScanAllocator
+
+
+def make_linear_function(n_live: int) -> AsmFunction:
+    """n_live simultaneously-live x vregs, then a sum reducing them."""
+    func = AsmFunction("f")
+    block = func.add_block("entry")
+    regs = [VReg("x", i + 1) for i in range(n_live)]
+    for i, reg in enumerate(regs):
+        block.append(AsmInst("li", [reg, Imm(i)]))
+    acc = VReg("x", n_live + 1)
+    block.append(AsmInst("li", [acc, Imm(0)]))
+    current = acc
+    for i, reg in enumerate(regs):
+        nxt = VReg("x", n_live + 2 + i)
+        block.append(AsmInst("add", [nxt, current, reg]))
+        current = nxt
+    block.append(AsmInst("ret", [current]))
+    return func
+
+
+class TestAsmStructures:
+    def test_defs_and_uses(self):
+        inst = AsmInst("add", [VReg("x", 1), VReg("x", 2), VReg("x", 3)])
+        assert inst.defs() == [VReg("x", 1)]
+        assert inst.uses() == [VReg("x", 2), VReg("x", 3)]
+
+    def test_store_has_no_def(self):
+        inst = AsmInst("stu", [VReg("g", 1), VReg("x", 2)])
+        assert inst.defs() == []
+        assert set(inst.uses()) == {VReg("g", 1), VReg("x", 2)}
+
+    def test_config_registers_counted_as_uses(self):
+        inst = AsmInst("gadd", [VReg("g", 1), VReg("g", 2), VReg("g", 3)],
+                       config=(VReg("x", 9), VReg("x", 10), "dynamic", 0))
+        assert VReg("x", 9) in inst.uses()
+        assert VReg("x", 10) in inst.uses()
+
+    def test_text_rendering(self):
+        func = AsmFunction("axpy")
+        block = func.add_block("entry")
+        block.append(AsmInst("li", [PReg("x", 1), Imm(7)], comment="n"))
+        block.append(AsmInst("j", [Label("loop")]))
+        text = str(func)
+        assert "axpy" in text
+        assert "li x1, 7  # n" in text
+        assert "j .loop" in text
+
+
+class TestLinearScan:
+    def test_no_spill_under_pressure_limit(self):
+        func = make_linear_function(8)
+        LinearScanAllocator(func).run()
+        opcodes = [i.opcode for i in func.instructions()]
+        assert "sdspill" not in opcodes
+        assert "ldspill" not in opcodes
+        # Everything is physical now.
+        for inst in func.instructions():
+            for op in inst.operands:
+                assert not isinstance(op, VReg)
+
+    def test_spills_beyond_register_file(self):
+        func = make_linear_function(40)  # > 29 allocatable x registers
+        LinearScanAllocator(func).run()
+        opcodes = [i.opcode for i in func.instructions()]
+        assert "sdspill" in opcodes
+        assert "ldspill" in opcodes
+        assert func.frame_slots > 0
+
+    def test_disjoint_ranges_share_registers(self):
+        """Sequential short-lived values must reuse physical registers."""
+        func = AsmFunction("f")
+        block = func.add_block("entry")
+        sink = VReg("x", 999)
+        block.append(AsmInst("li", [sink, Imm(0)]))
+        for i in range(100):  # far more values than registers
+            reg = VReg("x", i + 1)
+            block.append(AsmInst("li", [reg, Imm(i)]))
+            nxt = VReg("x", 200 + i)
+            block.append(AsmInst("add", [nxt, sink, reg]))
+            sink = nxt
+        block.append(AsmInst("ret", [sink]))
+        LinearScanAllocator(func).run()
+        assert "sdspill" not in [i.opcode for i in func.instructions()]
+
+    def test_loop_carried_value_lives_across_backedge(self):
+        """A value defined before a loop and used inside it must stay
+        allocated across the whole loop."""
+        func = AsmFunction("f")
+        entry = func.add_block("entry")
+        loop = func.add_block("loop")
+        done = func.add_block("done")
+        invariant = VReg("x", 1)
+        counter = VReg("x", 2)
+        entry.append(AsmInst("li", [invariant, Imm(42)]))
+        entry.append(AsmInst("li", [counter, Imm(0)]))
+        entry.append(AsmInst("j", [Label("loop")]))
+        nxt = VReg("x", 3)
+        loop.append(AsmInst("add", [nxt, counter, invariant]))
+        loop.append(AsmInst("mv", [counter, nxt]))
+        loop.append(AsmInst("blt", [counter, Imm(100), Label("loop")]))
+        loop.append(AsmInst("j", [Label("done")]))
+        done.append(AsmInst("ret", [counter]))
+        allocator = LinearScanAllocator(func)
+        intervals = allocator._intervals()
+        # The invariant's interval must span into the loop block.
+        start, end = intervals[invariant]
+        positions = allocator._positions()
+        loop_start, loop_end = positions[1]
+        assert end >= loop_end  # live through the backedge
+
+    def test_g_class_allocated_independently(self):
+        func = AsmFunction("f")
+        block = func.add_block("entry")
+        g1, g2, x1 = VReg("g", 1), VReg("g", 2), VReg("x", 1)
+        block.append(AsmInst("gli", [g1, Imm(1)]))
+        block.append(AsmInst("gli", [g2, Imm(2)]))
+        block.append(AsmInst("li", [x1, Imm(3)]))
+        g3 = VReg("g", 3)
+        block.append(AsmInst("gadd", [g3, g1, g2]))
+        block.append(AsmInst("ret", [g3]))
+        LinearScanAllocator(func).run()
+        classes = set()
+        for inst in func.instructions():
+            for op in inst.operands:
+                if isinstance(op, PReg):
+                    classes.add(op.cls)
+        assert classes == {"g", "x"}
