@@ -242,8 +242,13 @@ class MPFRLoweringPass(ModulePass):
                 if isinstance(inst, (PhiInst, SelectInst)):
                     for i, op in enumerate(list(inst.operands)):
                         if isinstance(op, ConstantVPFloat):
+                            # A phi's literal must be built on the
+                            # incoming edge (phis take no preceding
+                            # instructions in their own block).
+                            near = inst.incoming_blocks[i].terminator \
+                                if isinstance(inst, PhiInst) else inst
                             inst.set_operand(
-                                i, self._materialize_literal(op))
+                                i, self._materialize_literal(op, near))
 
         # Object reuse (paper item 7): coalesce temporaries with disjoint
         # single-block live ranges.
@@ -387,10 +392,12 @@ class MPFRLoweringPass(ModulePass):
             call = CallInst(init2, [alloca, prec, exp])
             self._insert_at_entry(call)
         else:
-            block = near.parent
-            self._insert_before(block, near, alloca, "mpfr.tmp")
+            # Attribute only available at the use site (phi/load); the
+            # stack slot still lives in the entry so it dominates the
+            # clears, only the init happens late.
+            self._insert_at_entry(alloca, "mpfr.tmp")
             call = CallInst(init2, [alloca, prec, exp])
-            self._insert_before(block, near, call)
+            self._insert_before(near.parent, near, call)
         self.scalar_clears.append(alloca)
         return alloca
 
@@ -419,7 +426,8 @@ class MPFRLoweringPass(ModulePass):
         # Arguments / phis / selects were retyped in place.
         return value
 
-    def _materialize_literal(self, constant: ConstantVPFloat) -> Value:
+    def _materialize_literal(self, constant: ConstantVPFloat,
+                             near: Optional[Instruction] = None) -> Value:
         key = f"{self._prec_key(constant.type)}:{constant.value!r}"
         cached = self.literal_cache.get(key)
         if cached is not None:
@@ -439,9 +447,18 @@ class MPFRLoweringPass(ModulePass):
             self.literal_cache[key] = alloca
             self.scalar_clears.append(alloca)
             return alloca
-        raise NotImplementedError(
-            "vpfloat literal with non-argument dynamic precision"
-        )
+        # Loop-variant precision (the attribute is a phi or a load): the
+        # literal must be constructed at the use site, every execution,
+        # because the precision can differ each time.  No caching.  The
+        # stack slot still lives in the entry so it dominates the clears.
+        if near is None:
+            near = self._current_inst
+        block = near.parent
+        self._insert_at_entry(alloca, "mpfr.lit")
+        self._insert_before(block, near, CallInst(init2, [alloca, prec, exp]))
+        self._insert_before(block, near, CallInst(setlit, [alloca, constant]))
+        self.scalar_clears.append(alloca)
+        return alloca
 
     # ------------------------------------------------------------ #
     # Instruction lowering
@@ -450,6 +467,7 @@ class MPFRLoweringPass(ModulePass):
     def _lower_instruction(self, inst: Instruction) -> None:
         if inst.parent is None:
             return  # already erased (e.g. a store fused into its op)
+        self._current_inst = inst
         if isinstance(inst, BinaryInst) and inst.opcode in _BINOP_TO_MPFR \
                 and is_mpfr_vpfloat(inst.type):
             self._lower_binop(inst)
@@ -921,11 +939,27 @@ class MPFRLoweringPass(ModulePass):
             if not isinstance(term, RetInst):
                 continue
             for temp in self.scalar_clears:
-                self._insert_before(block, term, CallInst(clear, [temp]))
+                if self._init_in_entry(temp):
+                    self._insert_before(block, term, CallInst(clear, [temp]))
+                else:
+                    # Initialized inside a conditionally-executed block:
+                    # use the liveness-checking clear so a never-taken
+                    # path does not clear an uninitialized object.
+                    self._insert_before(
+                        block, term,
+                        CallInst(array_clear, [temp, ConstantInt(I64, 1)]))
             for base, count in self.array_clears:
                 if self._dominates_ret(base, block):
                     self._insert_before(block, term,
                                         CallInst(array_clear, [base, count]))
+
+    def _init_in_entry(self, temp: Value) -> bool:
+        entry = self.func.entry
+        for user in temp.users:
+            name = getattr(getattr(user, "callee", None), "name", "")
+            if name == "mpfr_init2" and user.operands[0] is temp:
+                return user.parent is entry
+        return True
 
     def _dominates_ret(self, base: Value, ret_block) -> bool:
         # Conservative: only clear arrays allocated in the entry block.

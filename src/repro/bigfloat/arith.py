@@ -26,7 +26,9 @@ def _make(sign: int, mant: int, exp: int, prec: int, rm: RoundingMode,
 
 
 def _signed_zero(rm: RoundingMode, prec: int) -> BigFloat:
-    """Exact cancellation yields +0, except -0 in round-toward-negative."""
+    """Sign of an exact zero sum of nonzero (or opposite-signed zero)
+    operands: +0 in every mode except round-toward-negative, which gives
+    -0 (IEEE 754 §6.3, followed by ``mpfr_add``/``mpfr_fma``)."""
     sign = 1 if rm is RoundingMode.TOWARD_NEGATIVE else 0
     return BigFloat.zero(prec, sign)
 
@@ -104,12 +106,22 @@ def div(a: BigFloat, b: BigFloat, prec: int, rm: RoundingMode = RNDN) -> BigFloa
     if a.is_zero():
         return BigFloat.zero(prec, sign)
 
-    # Shift the dividend so the quotient keeps prec + 2 guard bits, then
-    # use the remainder as the sticky flag.
+    # Shift the dividend so the quotient keeps at least prec + 2 guard
+    # bits, then use the remainder as the sticky flag.  The shift is
+    # checked against the *actual* quotient width rather than trusting
+    # the operand-width estimate: floor(a/b) for an a much wider than b
+    # can come out one bit short of the estimate, and a quotient with
+    # fewer than prec + 2 bits ahead of _make would fold real rounding
+    # information into the sticky bit (a double-rounding hazard under
+    # the nearest modes).
     shift = prec + 2 - (a.mant.bit_length() - b.mant.bit_length())
     if shift < 0:
         shift = 0
     q, r = divmod(a.mant << shift, b.mant)
+    deficit = (prec + 2) - q.bit_length()
+    if deficit > 0:
+        shift += deficit
+        q, r = divmod(a.mant << shift, b.mant)
     return _make(sign, q, a.exp - b.exp - shift, prec, rm, sticky=bool(r))
 
 
@@ -130,6 +142,9 @@ def fma(a: BigFloat, b: BigFloat, c: BigFloat, prec: int,
         return BigFloat.inf(prec, c.sign)
     if a.is_zero() or b.is_zero():
         if c.is_zero():
+            # Zero product plus zero addend: mpfr_fma keeps the common
+            # sign when product and addend agree; opposite signs fall
+            # under the exact-sum rule (+0, or -0 under RNDD).
             psign = a.sign ^ b.sign
             if psign == c.sign:
                 return BigFloat.zero(prec, psign)
@@ -141,6 +156,7 @@ def fma(a: BigFloat, b: BigFloat, c: BigFloat, prec: int,
     prod_m = ma * mb
     prod_e = ea + eb
     if c.is_zero():
+        # Nonzero exact product: the addend's zero never flips its sign.
         total_m, total_e = prod_m, prod_e
     else:
         mc, ec = _exact_pair(c)
@@ -148,6 +164,10 @@ def fma(a: BigFloat, b: BigFloat, c: BigFloat, prec: int,
         total_m = (prod_m << (prod_e - e)) + (mc << (ec - e))
         total_e = e
     if total_m == 0:
+        # Exact cancellation of a nonzero product against the addend.
+        # The parts necessarily carried opposite signs, so mpfr_fma
+        # prescribes the exact-sum zero: +0 except -0 under RNDD --
+        # never the product's or the addend's own sign.
         return _signed_zero(rm, prec)
     sign = 1 if total_m < 0 else 0
     return _make(sign, abs(total_m), total_e, prec, rm)

@@ -15,7 +15,7 @@ driven by these counts, so the stand-in records them exactly).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from . import arith, convert, functions
 from .number import BigFloat
@@ -58,7 +58,15 @@ Scalar = Union[int, float]
 
 @dataclass
 class MpfrStats:
-    """Counters for every category of library traffic."""
+    """Counters for every category of library traffic.
+
+    With pooling enabled (:class:`MpfrLibrary` ``pool=True``), ``inits``
+    and ``clears`` count *fresh allocations* and *true deallocations*
+    respectively; acquisitions served from the free list show up in
+    ``pool_hits`` and releases captured by it in ``pool_releases``.
+    ``by_name`` always counts API calls, pooled or not, so call-traffic
+    comparisons against unpooled runs stay meaningful.
+    """
 
     inits: int = 0
     clears: int = 0
@@ -68,6 +76,9 @@ class MpfrStats:
     compares: int = 0
     conversions: int = 0
     limb_bytes_allocated: int = 0
+    pool_hits: int = 0      # init2 calls served from the free list
+    pool_misses: int = 0    # init2 calls that had to allocate (pool on)
+    pool_releases: int = 0  # clear calls captured by the free list
     by_name: Dict[str, int] = field(default_factory=dict)
 
     def bump(self, name: str, n: int = 1) -> None:
@@ -75,6 +86,11 @@ class MpfrStats:
 
     def total_calls(self) -> int:
         return sum(self.by_name.values())
+
+    def pool_hit_rate(self) -> float:
+        """Fraction of init2 traffic served without allocating."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
 
     def snapshot(self) -> "MpfrStats":
         return MpfrStats(
@@ -86,6 +102,9 @@ class MpfrStats:
             compares=self.compares,
             conversions=self.conversions,
             limb_bytes_allocated=self.limb_bytes_allocated,
+            pool_hits=self.pool_hits,
+            pool_misses=self.pool_misses,
+            pool_releases=self.pool_releases,
             by_name=dict(self.by_name),
         )
 
@@ -100,38 +119,91 @@ class MpfrUseAfterClear(RuntimeError):
 
 
 class MpfrLibrary:
-    """The MPFR call surface with statistics recording."""
+    """The MPFR call surface with statistics recording.
 
-    def __init__(self) -> None:
+    ``pool=True`` adds a runtime free-list: cleared handles are parked in
+    per-precision buckets and ``mpfr_init2`` reuses one instead of
+    allocating.  This is the dynamic counterpart of the lowering pass's
+    static dead-object reuse (paper §III-C1 item 7): the compiler removes
+    the allocation traffic it can prove dead, the pool removes the rest
+    (cross-call churn, dynamically-sized arrays).  The pool is off by
+    default so the raw library keeps exact ``mpfr_init2``/``mpfr_clear``
+    semantics; the interpreter turns it on for the paper's own runtime.
+    """
+
+    def __init__(self, pool: bool = False, pool_limit: int = 1024) -> None:
         self.stats = MpfrStats()
         self.live_objects = 0
         self.peak_live_objects = 0
+        self.pool_enabled = pool
+        #: Per-precision bucket cap; beyond it, clears free for real.
+        self.pool_limit = pool_limit
+        self._pool: Dict[int, List[MpfrVar]] = {}
 
     # ------------------------------------------------------------ #
     # Lifetime
     # ------------------------------------------------------------ #
+
+    def acquire(self, prec: int,
+                exp_bits: Optional[int] = None) -> Tuple[MpfrVar, bool]:
+        """``mpfr_init2`` with reuse reporting: ``(var, pooled)``.
+
+        ``pooled`` is True when the handle came from the free list (no
+        allocation happened; its limb storage is recycled as-is)."""
+        if prec < 2:
+            raise ValueError(f"MPFR precision must be >= 2, got {prec}")
+        self.stats.bump("mpfr_init2")
+        bucket = self._pool.get(prec) if self.pool_enabled else None
+        if bucket:
+            var = bucket.pop()
+            var.alive = True
+            var.exp_bits = exp_bits
+            var.value = BigFloat.nan(prec)  # mpfr_init leaves NaN
+            self.stats.pool_hits += 1
+            self.live_objects += 1
+            self.peak_live_objects = max(self.peak_live_objects,
+                                         self.live_objects)
+            return var, True
+        if self.pool_enabled:
+            self.stats.pool_misses += 1
+        var = MpfrVar(prec, exp_bits)
+        self.stats.inits += 1
+        self.stats.limb_bytes_allocated += limb_bytes(prec)
+        self.live_objects += 1
+        self.peak_live_objects = max(self.peak_live_objects, self.live_objects)
+        return var, False
 
     def init2(self, prec: int, exp_bits: Optional[int] = None) -> MpfrVar:
         """``mpfr_init2``: allocate a variable with ``prec`` bits (and,
         in this toolchain, the type's exponent-field width -- the paper:
         \"the size of the exponent and mantissa are set up during
         initialization\")."""
-        var = MpfrVar(prec, exp_bits)
-        self.stats.inits += 1
-        self.stats.bump("mpfr_init2")
-        self.stats.limb_bytes_allocated += limb_bytes(prec)
-        self.live_objects += 1
-        self.peak_live_objects = max(self.peak_live_objects, self.live_objects)
-        return var
+        return self.acquire(prec, exp_bits)[0]
 
-    def clear(self, var: MpfrVar) -> None:
-        """``mpfr_clear``: release a variable."""
+    def release(self, var: MpfrVar) -> bool:
+        """``mpfr_clear`` with reuse reporting: True when the handle was
+        parked on the free list (its limb storage stays allocated)."""
         if not var.alive:
             raise MpfrUseAfterClear(f"double clear of {var!r}")
         var.alive = False
-        self.stats.clears += 1
         self.stats.bump("mpfr_clear")
         self.live_objects -= 1
+        if self.pool_enabled:
+            bucket = self._pool.setdefault(var.prec, [])
+            if len(bucket) < self.pool_limit:
+                bucket.append(var)
+                self.stats.pool_releases += 1
+                return True
+        self.stats.clears += 1
+        return False
+
+    def clear(self, var: MpfrVar) -> None:
+        """``mpfr_clear``: release a variable."""
+        self.release(var)
+
+    def pooled_objects(self) -> int:
+        """Handles currently parked on the free list."""
+        return sum(len(b) for b in self._pool.values())
 
     def _check(self, *vars_: MpfrVar) -> None:
         for v in vars_:

@@ -68,9 +68,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="numeric arguments for --run")
     parser.add_argument("--report", action="store_true",
                         help="print the performance report after --run")
+    parser.add_argument("--profile", action="store_true",
+                        help="print opcode/builtin/pool/pass-time profile "
+                             "after --run")
+    parser.add_argument("--dispatch", choices=("fast", "legacy"),
+                        default="fast",
+                        help="interpreter dispatch engine (default: fast)")
+    parser.add_argument("--no-pool", action="store_true",
+                        help="disable the runtime MPFR object pool")
     parser.add_argument("--threads", type=int, default=1,
                         help="model OpenMP regions at this thread count")
     return parser
+
+
+def _print_profile(result, program) -> None:
+    profile = result.profile
+    if profile is not None:
+        print("hottest opcodes:")
+        for opcode, count in profile.hottest_opcodes(10):
+            print(f"  {opcode:<16} {count}")
+        if profile.builtin_calls:
+            print("hottest builtins (by modeled cycles):")
+            for name, calls, cycles in profile.hottest_builtins(10):
+                print(f"  {name:<24} {calls:>10} calls  {cycles:>12} cycles")
+    interpreter = getattr(result, "interpreter", None)
+    if interpreter is not None:
+        stats = interpreter.mpfr.stats
+        attempts = stats.pool_hits + stats.pool_misses
+        if attempts:
+            print(f"mpfr pool:         {stats.pool_hits}/{attempts} hits "
+                  f"({100.0 * stats.pool_hit_rate():.1f}%), "
+                  f"{stats.pool_releases} released")
+    if program.pass_timings:
+        print("pass wall time:")
+        for name, seconds in program.pass_timings.items():
+            print(f"  {name:<24} {seconds * 1e3:8.3f} ms")
 
 
 def main(argv=None) -> int:
@@ -112,7 +144,10 @@ def main(argv=None) -> int:
     if args.run:
         run_args = _parse_run_args(args.args)
         try:
-            result = program.run(args.run, run_args)
+            result = program.run(args.run, run_args,
+                                 dispatch=args.dispatch,
+                                 profile=args.profile,
+                                 pool=False if args.no_pool else None)
         except Exception as error:
             print(f"runtime error: {error}", file=sys.stderr)
             return 2
@@ -128,6 +163,8 @@ def main(argv=None) -> int:
                 time = report.parallel_time(args.threads)
                 print(f"parallel cycles:   {report.parallel_cycles}")
                 print(f"t({args.threads} threads):      {time:.0f}")
+        if args.profile:
+            _print_profile(result, program)
     return 0
 
 

@@ -132,8 +132,9 @@ class IRGenerator:
         self.decl_types: Dict[int, CType] = {}
         self.break_targets: List[BasicBlock] = []
         self.continue_targets: List[BasicBlock] = []
-        #: Cache of attribute name -> i32 Value inside the current function.
-        self.attr_values: Dict[str, Value] = {}
+        #: Name -> slot for the *current* function's locals and params,
+        #: so attribute references resolve against the innermost binding.
+        self.local_slot_names: Dict[str, Value] = {}
         self.func_decls: Dict[str, ast.FunctionDecl] = {}
 
     # ------------------------------------------------------------ #
@@ -169,24 +170,27 @@ class IRGenerator:
         if isinstance(attr, AttrConst):
             return ConstantInt(I32, attr.value)
         assert isinstance(attr, AttrRef)
-        cached = self.attr_values.get(attr.name)
-        if cached is not None:
-            return cached
-        # Resolve against the current function's parameters first.
-        if self.func is not None:
-            for arg, param in zip(self.func.args, self._current_params()):
-                if param.name == attr.name:
-                    value = self._coerce_to_i32(arg)
-                    self.attr_values[attr.name] = value
-                    return value
-        # Fall back to a load of the named local/global slot.
-        decl = self._lookup_slot_by_name(attr.name)
-        if decl is None:
+        # Signature context (no insert point): parameter attributes
+        # resolve directly to the entry argument values.
+        if self.builder.block is None:
+            if self.func is not None:
+                for arg, param in zip(self.func.args,
+                                      self._current_params()):
+                    if param.name == attr.name:
+                        return self._coerce_to_i32(arg)
             raise TypeError(f"unresolved vpfloat attribute {attr.name!r}")
-        loaded = self.builder.load(decl, name=f"{attr.name}.attr")
-        value = self._coerce_to_i32(loaded)
-        self.attr_values[attr.name] = value
-        return value
+        # Body context: re-read the named variable at every use site so a
+        # declaration's type sees the variable's *current* value — a loop
+        # that mutates an attribute variable (e.g. shrinking `p`) changes
+        # the precision of later declarations.  mem2reg rewires these
+        # loads to the reaching SSA definition (the attribute registry
+        # keeps the types in sync through RAUW), so -O3 IR carries no
+        # extra memory traffic.
+        slot = self._lookup_slot_by_name(attr.name)
+        if slot is None:
+            raise TypeError(f"unresolved vpfloat attribute {attr.name!r}")
+        loaded = self.builder.load(slot, name=f"{attr.name}.attr")
+        return self._coerce_to_i32(loaded)
 
     def _coerce_to_i32(self, value: Value) -> Value:
         if value.type == I32:
@@ -200,12 +204,10 @@ class IRGenerator:
         return self._params_by_func.get(self.func.name, [])
 
     def _lookup_slot_by_name(self, name: str) -> Optional[Value]:
-        for decl_id, slot in self.slots.items():
-            decl = self._decl_by_id.get(decl_id)
-            if decl is not None and getattr(decl, "name", None) == name:
-                return slot
-        g = self.module.globals.get(name)
-        return g
+        local = self.local_slot_names.get(name)
+        if local is not None:
+            return local
+        return self.module.globals.get(name)
 
     # ------------------------------------------------------------ #
     # Entry point
@@ -273,8 +275,8 @@ class IRGenerator:
                         FunctionType(VOID, [VOID] * len(decl.params)),
                         [p.name for p in decl.params])
         self.module.add_function(func)
-        self.func, saved_attrs = func, self.attr_values
-        self.attr_values = {}
+        self.func, saved_slots = func, self.local_slot_names
+        self.local_slot_names = {}
         try:
             param_types = []
             for param in decl.params:
@@ -286,7 +288,7 @@ class IRGenerator:
             func.type = FunctionType(ret_type, param_types)
         finally:
             self.func = None
-            self.attr_values = saved_attrs
+            self.local_slot_names = saved_slots
 
     # ------------------------------------------------------------ #
     # Function bodies
@@ -295,7 +297,7 @@ class IRGenerator:
     def _emit_function(self, decl: ast.FunctionDecl) -> None:
         func = self.module.get_function(decl.name)
         self.func = func
-        self.attr_values = {}
+        self.local_slot_names = {}
         entry = func.add_block("entry")
         self.builder.set_insert_point(entry)
 
@@ -305,6 +307,7 @@ class IRGenerator:
             slot = self.builder.alloca(arg.type, name=f"{param.name}.addr")
             self.builder.store(arg, slot)
             self.slots[id(param)] = slot
+            self.local_slot_names[param.name] = slot
             self.decl_types[id(param)] = decay(param.type)
             self._decl_by_id[id(param)] = param
             # Pin arguments used as type attributes (paper §III-B).
@@ -404,6 +407,7 @@ class IRGenerator:
             self._emit_dynamic_size_check(ctype)
             slot = self.builder.alloca(self.ir_type(ctype), name=decl.name)
         self.slots[id(decl)] = slot
+        self.local_slot_names[decl.name] = slot
         self.decl_types[id(decl)] = ctype
         if decl.init is not None:
             target_type = slot.type.pointee
@@ -905,18 +909,59 @@ class IRGenerator:
         if isinstance(against, int):
             expected_value: Value = ConstantInt(I32, against)
         else:
-            # The comparison is against the *caller-scope* attribute
-            # variable (paper Listing 3 line 17: "++p" invalidates the
-            # types), not against the callee binding.
-            try:
-                expected_value = self._attr_value(AttrRef(against))
-            except TypeError:
-                expected_value = self._call_attr_value(expr, against,
-                                                       callee, args)
+            # The comparison is against the attribute value *captured in
+            # the argument's declared type* (paper Listing 3 line 17:
+            # "++p" invalidates the previously-created types), so pull it
+            # out of the vpfloat argument's IR type rather than
+            # re-reading the caller variable at the call site.
+            expected_value = self._declared_attr_capture(expr, name, args)
+            if expected_value is None:
+                try:
+                    expected_value = self._attr_value(AttrRef(against))
+                except TypeError:
+                    expected_value = self._call_attr_value(expr, against,
+                                                           callee, args)
             if expected_value is None:
                 return
         self.builder.call(self._runtime("__vpfloat_check_attr"),
                           [actual, expected_value], name="")
+
+    def _declared_attr_capture(self, expr: ast.Call, attr_name: str,
+                               args) -> Optional[Value]:
+        """The attribute Value captured in a vpfloat argument's type.
+
+        ``attr_name`` names an attribute of a callee parameter's dependent
+        type; the matching argument's IR type carries the caller-side
+        Value that was captured when the argument was *declared* — the
+        value the runtime check must compare against.
+        """
+        params = self._params_by_func.get(expr.name, [])
+        for i, param in enumerate(params):
+            if i >= len(args):
+                break
+            ctype = decay(param.type)
+            while isinstance(ctype, (PointerT, ArrayT)):
+                ctype = ctype.pointee if isinstance(ctype, PointerT) \
+                    else ctype.element
+            if not isinstance(ctype, VPFloatT):
+                continue
+            ir_ty = args[i].type
+            while True:
+                inner = getattr(ir_ty, "pointee",
+                                getattr(ir_ty, "element", None))
+                if inner is None:
+                    break
+                ir_ty = inner
+            if not isinstance(ir_ty, VPFloatType):
+                continue
+            for attr_ast, attr_ir in zip(
+                (ctype.exp, ctype.prec, ctype.size),
+                (ir_ty.exp_attr, ir_ty.prec_attr, ir_ty.size_attr),
+            ):
+                if isinstance(attr_ast, AttrRef) and \
+                        attr_ast.name == attr_name and attr_ir is not None:
+                    return self._coerce_to_i32(attr_ir)
+        return None
 
     def _call_attr_value(self, expr: ast.Call, name: str, callee,
                          args) -> Optional[Value]:

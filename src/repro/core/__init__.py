@@ -15,6 +15,7 @@ machine model).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -55,21 +56,36 @@ class CompiledProgram:
     """The result of a compilation: IR module and (for unum) assembly."""
 
     def __init__(self, module: Module, options: CompileOptions,
-                 asm=None, tiled_nests: int = 0):
+                 asm=None, tiled_nests: int = 0, pass_timings=None):
         self.module = module
         self.options = options
         self.asm = asm
         self.tiled_nests = tiled_nests
+        #: Wall-clock seconds per middle-end pass / backend lowering.
+        self.pass_timings: dict = pass_timings or {}
 
     # ------------------------------------------------------------ #
 
+    def _pool_default(self, pool: Optional[bool]) -> bool:
+        """The runtime MPFR free-list is on for the paper's own runtime
+        (mpfr/none) and off for the Boost baseline, whose per-operation
+        allocation traffic is the behavior under measurement (Fig. 1)."""
+        if pool is None:
+            return self.options.backend != "boost"
+        return pool
+
     def run(self, name: str, args: Optional[List[object]] = None,
             cache: bool = True, max_steps: int = 500_000_000,
-            coprocessor=None, costs=None) -> ExecutionResult:
+            coprocessor=None, costs=None, dispatch: str = "fast",
+            profile: bool = False,
+            pool: Optional[bool] = None) -> ExecutionResult:
         """Execute a function; returns value + CostReport + stdout.
 
         ``costs`` selects a CycleCosts profile (default: Xeon-calibrated;
-        pass ``ROCKET_CYCLE_COSTS`` for the Fig. 2 FPGA baseline)."""
+        pass ``ROCKET_CYCLE_COSTS`` for the Fig. 2 FPGA baseline).
+        ``dispatch``/``profile``/``pool`` configure the interpreter's
+        fast path, observability layer, and MPFR object pool (``pool``
+        defaults per backend: on except for Boost)."""
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
         if self.options.backend == "unum":
@@ -87,18 +103,24 @@ class CompiledProgram:
             result.machine = machine
             return result
         interpreter = Interpreter(self.module, accounting=accounting,
-                                  max_steps=max_steps)
+                                  max_steps=max_steps, dispatch=dispatch,
+                                  profile=profile,
+                                  mpfr_pool=self._pool_default(pool))
         result = interpreter.run(name, args)
         result.interpreter = interpreter
         return result
 
     def interpreter(self, cache: bool = True,
-                    max_steps: int = 500_000_000, costs=None) -> Interpreter:
+                    max_steps: int = 500_000_000, costs=None,
+                    dispatch: str = "fast", profile: bool = False,
+                    pool: Optional[bool] = None) -> Interpreter:
         """A fresh interpreter over the compiled module (mpfr/boost/none)."""
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
         return Interpreter(self.module, accounting=accounting,
-                           max_steps=max_steps)
+                           max_steps=max_steps, dispatch=dispatch,
+                           profile=profile,
+                           mpfr_pool=self._pool_default(pool))
 
     def machine(self, cache: bool = True, coprocessor=None,
                 max_steps: int = 500_000_000, costs=None):
@@ -131,6 +153,7 @@ class CompilerDriver:
             if tiled:
                 unit = analyze(unit)  # re-resolve the new declarations
         module = generate_ir(unit, name, verify=options.verify)
+        timings: dict = {}
         if options.opt_level >= 2:
             pipeline = build_o3_pipeline(
                 enable_loop_idiom=options.enable_loop_idiom,
@@ -138,10 +161,12 @@ class CompilerDriver:
                 enable_unroll=options.enable_unroll,
                 contract_fma=options.contract_fma,
             )
-            pipeline.run(module)
+            stats = pipeline.run(module)
+            timings.update(stats.timings)
             if options.verify:
                 verify_module(module)
         asm = None
+        lowering_started = time.perf_counter()
         if options.backend == "mpfr":
             MPFRLoweringPass(
                 reuse_objects=options.reuse_objects,
@@ -150,15 +175,19 @@ class CompilerDriver:
             ).run_module(module)
             if options.verify:
                 verify_module(module)
+            timings["mpfr-lowering"] = time.perf_counter() - lowering_started
         elif options.backend == "boost":
             BoostLoweringPass().run_module(module)
             if options.verify:
                 verify_module(module)
+            timings["boost-lowering"] = time.perf_counter() - lowering_started
         elif options.backend == "unum":
             from ..backends.unum_backend import compile_to_unum
 
             asm = compile_to_unum(module)
-        return CompiledProgram(module, options, asm=asm, tiled_nests=tiled)
+            timings["unum-codegen"] = time.perf_counter() - lowering_started
+        return CompiledProgram(module, options, asm=asm, tiled_nests=tiled,
+                               pass_timings=timings)
 
 
 def compile_source(source: str, backend: str = "mpfr",

@@ -33,6 +33,10 @@ class RunOutcome:
     outputs: List[Number]
     report: CostReport
     value: object
+    #: Observability extras (None unless the engine provides them).
+    mpfr_stats: object = None
+    profile: object = None
+    pass_timings: Optional[dict] = None
 
 
 def parse_ftype(ftype: str) -> Tuple[str, dict]:
@@ -80,8 +84,14 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
                read_outputs: bool = True,
                coprocessor: Optional[UnumCoprocessor] = None,
                max_steps: int = 500_000_000, costs=None,
+               dispatch: str = "fast", profile: bool = False,
+               pool: Optional[bool] = None,
                **driver_kwargs) -> RunOutcome:
-    """Compile + execute one PolyBench kernel; extract its outputs."""
+    """Compile + execute one PolyBench kernel; extract its outputs.
+
+    ``dispatch``/``profile``/``pool`` select the interpreter execution
+    mode and observability layer (see :meth:`CompiledProgram.run`); they
+    are ignored by the unum machine backend."""
     spec = KERNELS[kernel]
     source = source_for(kernel, ftype)
     driver = CompilerDriver(backend=backend, polly=polly, **driver_kwargs)
@@ -103,17 +113,22 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
         if read_outputs:
             outputs = _read_unum_outputs(machine, int(value),
                                          spec.outputs(n), params)
-        return RunOutcome(kernel, ftype, backend, n, outputs, report, value)
+        return RunOutcome(kernel, ftype, backend, n, outputs, report, value,
+                          pass_timings=program.pass_timings)
 
     result = program.run("run", [n], cache=cache, max_steps=max_steps,
-                         costs=costs)
+                         costs=costs, dispatch=dispatch, profile=profile,
+                         pool=pool)
     outputs = []
     if read_outputs:
         outputs = _read_interpreter_outputs(
             result.interpreter, int(result.value), spec.outputs(n),
             ftype, backend)
     return RunOutcome(kernel, ftype, backend, n, outputs, result.report,
-                      result.value)
+                      result.value,
+                      mpfr_stats=result.interpreter.mpfr.stats,
+                      profile=result.profile,
+                      pass_timings=program.pass_timings)
 
 
 def _read_interpreter_outputs(interpreter, base: int, count: int,

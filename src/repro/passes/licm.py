@@ -31,6 +31,7 @@ from ..ir import (
     SelectInst,
     StoreInst,
     Value,
+    VPFloatType,
 )
 from .pass_manager import FunctionPass
 
@@ -76,6 +77,12 @@ class LICMPass(FunctionPass):
                         continue
                     if not all(invariant(op) for op in inst.operands):
                         continue
+                    # Dependent vpfloat types reference attribute Values
+                    # outside the def-use graph (paper §III-B); an
+                    # instruction whose type depends on a loop-defined
+                    # attribute is NOT invariant even if its operands are.
+                    if not all(invariant(a) for a in self._type_attrs(inst)):
+                        continue
                     block.instructions.remove(inst)
                     terminator = preheader.instructions[-1]
                     preheader.instructions.insert(
@@ -85,6 +92,25 @@ class LICMPass(FunctionPass):
                     hoisted += 1
                     changed = True
         return hoisted
+
+    def _type_attrs(self, inst: Instruction):
+        """Attribute Values referenced by the instruction's result type or
+        any operand's type (constants carry dependent types too)."""
+        seen = []
+        for ty in [inst.type] + [op.type for op in inst.operands]:
+            # Unwrap pointers/arrays down to a possible vpfloat element.
+            while True:
+                pointee = getattr(ty, "pointee", None)
+                if pointee is None:
+                    pointee = getattr(ty, "element", None)
+                if pointee is None:
+                    break
+                ty = pointee
+            if isinstance(ty, VPFloatType):
+                for attr in (ty.exp_attr, ty.prec_attr, ty.size_attr):
+                    if isinstance(attr, Instruction):
+                        seen.append(attr)
+        return seen
 
     def _can_hoist(self, inst: Instruction, loop_has_stores: bool) -> bool:
         if isinstance(inst, LoadInst):

@@ -8,6 +8,7 @@ stage of the middle-end", §III-C1).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -16,12 +17,17 @@ from ..ir import Function, Module, verify_module
 
 @dataclass
 class PassStatistics:
-    """What each pass changed, by pass name."""
+    """What each pass changed (and how long it took), by pass name."""
 
     changes: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds per pass, in pipeline order.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def record(self, name: str, changed: int) -> None:
         self.changes[name] = self.changes.get(name, 0) + int(changed)
+
+    def record_time(self, name: str, seconds: float) -> None:
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
 
 
 class FunctionPass:
@@ -54,6 +60,7 @@ class PassManager:
 
     def run(self, module: Module) -> PassStatistics:
         for pass_ in self.passes:
+            started = time.perf_counter()
             if isinstance(pass_, ModulePass):
                 changed = pass_.run_module(module)
                 self.stats.record(pass_.name, changed)
@@ -63,6 +70,7 @@ class PassManager:
                         continue
                     changed = pass_.run(func)
                     self.stats.record(pass_.name, changed)
+            self.stats.record_time(pass_.name, time.perf_counter() - started)
             if self.verify_each:
                 verify_module(module)
         return self.stats

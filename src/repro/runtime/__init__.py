@@ -13,6 +13,7 @@ from .cost_model import (
     CycleCosts,
     DEFAULT_LEVELS,
 )
+from .dispatch import InterpreterProfile
 from .interpreter import (
     ExecutionLimitExceeded,
     ExecutionResult,
@@ -23,6 +24,7 @@ from .memory import Memory, MemoryError_
 
 __all__ = [
     "Interpreter",
+    "InterpreterProfile",
     "ExecutionResult",
     "VPRuntimeError",
     "ExecutionLimitExceeded",

@@ -17,7 +17,7 @@ testbed (DESIGN.md substitution table).  Cycle costs are calibrated to the
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -64,35 +64,65 @@ class CacheModel:
         self.misses_to_dram = 0
         self.dram_bytes = 0
         self.access_cycles = 0
+        # Hot-path constants (line granularity is the L1 geometry).
+        self._line = levels[0].line_bytes
+        self._l1 = self._sets[0]
+        self._l1_hit_cycles = levels[0].hit_cycles
+        self._limits = [lv.capacity_bytes // lv.line_bytes for lv in levels]
 
     def access(self, kind: str, addr: int, nbytes: int) -> None:
-        line = self.levels[0].line_bytes
+        line = self._line
         first = addr // line
-        last = (addr + max(1, nbytes) - 1) // line
+        last = (addr + nbytes - 1) // line if nbytes > 1 else first
+        l1 = self._l1
+        if first == last:
+            # Single-line access: the overwhelmingly common case.
+            if first in l1:
+                l1.move_to_end(first)
+                self.hits[0] += 1
+                self.access_cycles += self._l1_hit_cycles
+            else:
+                self._touch_slow(first)
+            return
         for line_addr in range(first, last + 1):
-            self._touch(line_addr)
+            if line_addr in l1:
+                # L1 hit: nothing to promote, just recency + cycles.
+                l1.move_to_end(line_addr)
+                self.hits[0] += 1
+                self.access_cycles += self._l1_hit_cycles
+            else:
+                self._touch_slow(line_addr)
 
     def _touch(self, line_addr: int) -> None:
-        for i, level in enumerate(self.levels):
+        if line_addr in self._l1:
+            self._l1.move_to_end(line_addr)
+            self.hits[0] += 1
+            self.access_cycles += self._l1_hit_cycles
+        else:
+            self._touch_slow(line_addr)
+
+    def _touch_slow(self, line_addr: int) -> None:
+        levels = self.levels
+        for i in range(1, len(levels)):
             cache = self._sets[i]
             if line_addr in cache:
                 cache.move_to_end(line_addr)
                 self.hits[i] += 1
-                self.access_cycles += level.hit_cycles
+                self.access_cycles += levels[i].hit_cycles
                 self._fill_upper(i, line_addr)
                 return
         # Miss all the way to DRAM.
         self.misses_to_dram += 1
-        self.dram_bytes += self.levels[0].line_bytes
+        self.dram_bytes += self._line
         self.access_cycles += self.dram_cycles
-        self._fill_upper(len(self.levels), line_addr)
+        self._fill_upper(len(levels), line_addr)
 
     def _fill_upper(self, found_level: int, line_addr: int) -> None:
         for i in range(found_level):
             cache = self._sets[i]
             cache[line_addr] = True
             cache.move_to_end(line_addr)
-            limit = self.levels[i].capacity_bytes // self.levels[i].line_bytes
+            limit = self._limits[i]
             while len(cache) > limit:
                 cache.popitem(last=False)
 
@@ -129,6 +159,10 @@ class CycleCosts:
     mpfr_init_extra: int = 30   # beyond the malloc it performs
     mpfr_clear_extra: int = 12  # beyond the free
     mpfr_cmp: int = 25
+    # Runtime free-list pool (interpreter MPFR object reuse): a hit or
+    # release touches only the list head -- no allocator round-trip.
+    mpfr_pool_hit_extra: int = 6
+    mpfr_pool_release_extra: int = 4
     omp_fork_join: int = 4000
     atomic_section: int = 120
 
@@ -186,6 +220,8 @@ ROCKET_CYCLE_COSTS = CycleCosts(
     mpfr_init_extra=90,
     mpfr_clear_extra=40,
     mpfr_cmp=80,
+    mpfr_pool_hit_extra=18,
+    mpfr_pool_release_extra=12,
     omp_fork_join=4000,
     atomic_section=200,
 )
@@ -213,11 +249,12 @@ class CostReport:
     serial_cycles: int = 0
     parallel_dram_bytes: int = 0
     parallel_heap_allocations: int = 0
-    by_category: Dict[str, int] = field(default_factory=dict)
+    by_category: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int))
 
     def charge(self, category: str, cycles: int) -> None:
         self.cycles += cycles
-        self.by_category[category] = self.by_category.get(category, 0) + cycles
+        self.by_category[category] += cycles
 
     def parallel_time(self, threads: int,
                       bandwidth: float = DRAM_BYTES_PER_CYCLE,

@@ -67,8 +67,11 @@ from ..ir import (
     Value,
     VPFloatType,
 )
+from ..ir.types import _validate_mpfr_attrs
 from ..unum import UnumConfig, UnumConfigError
+from ..unum.posit import PositConfig, PositConfigError, posit_round
 from .cost_model import CostAccounting
+from .dispatch import CompiledFunction, FunctionCompiler, InterpreterProfile
 from .memory import Memory
 
 
@@ -81,10 +84,13 @@ class ExecutionLimitExceeded(RuntimeError):
 
 
 class ExecutionResult:
-    def __init__(self, value, report, stdout: List[str]):
+    def __init__(self, value, report, stdout: List[str], profile=None):
         self.value = value
         self.report = report
         self.stdout = stdout
+        #: :class:`~repro.runtime.dispatch.InterpreterProfile` when the
+        #: run was profiled, else None.
+        self.profile = profile
 
 
 def _f32(x: float) -> float:
@@ -124,24 +130,60 @@ class Frame:
 
 
 class Interpreter:
-    """Executes one module."""
+    """Executes one module.
+
+    ``dispatch`` selects the execution engine: ``"fast"`` (default)
+    compiles each function's blocks to closure tables on first call
+    (:mod:`repro.runtime.dispatch`); ``"legacy"`` walks the original
+    per-instruction isinstance chain.  Both charge identical cycles.
+
+    ``mpfr_pool`` enables the runtime free-list in the backing
+    :class:`~repro.bigfloat.MpfrLibrary`: ``mpfr_clear`` parks handles
+    for reuse by later ``mpfr_init2`` calls of the same precision,
+    skipping the modeled allocator round-trip (the run-time counterpart
+    of the lowering pass's static dead-object reuse, paper §III-C1).
+
+    ``profile=True`` collects an :class:`InterpreterProfile` (per-opcode
+    execution counts, per-builtin call counts and cycle attribution),
+    exposed as ``self.profile`` and on each :class:`ExecutionResult`.
+    """
 
     def __init__(self, module: Module,
                  accounting: Optional[CostAccounting] = None,
                  mpfr_library: Optional[MpfrLibrary] = None,
-                 max_steps: int = 500_000_000):
+                 max_steps: int = 500_000_000,
+                 dispatch: str = "fast",
+                 profile: bool = False,
+                 mpfr_pool: bool = False,
+                 pool_limit: int = 1024):
+        if dispatch not in ("fast", "legacy"):
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.module = module
         self.accounting = accounting or CostAccounting(cache=None)
         self.memory = Memory(observer=self.accounting.memory_access)
-        self.mpfr = mpfr_library or MpfrLibrary()
+        self.mpfr = mpfr_library or MpfrLibrary(pool=mpfr_pool,
+                                                pool_limit=pool_limit)
         self.max_steps = max_steps
         self.steps = 0
+        self.dispatch = dispatch
+        self.profile: Optional[InterpreterProfile] = \
+            InterpreterProfile() if profile else None
         self.stdout: List[str] = []
         self.globals: Dict[str, int] = {}
         self._builtins: Dict[str, Callable] = {}
         #: (id(constant), attrs) -> rounded BigFloat; constants are pinned
         #: by the module so ids are stable.
         self._const_cache: Dict[tuple, BigFloat] = {}
+        #: (id(vptype), *runtime attrs) -> (prec, size) for
+        #: dynamic-attribute vpfloat types (constant-attribute types
+        #: resolve once inside their compiled closures instead).
+        self._vp_config_cache: Dict[tuple, tuple] = {}
+        self._posit_config_cache: Dict[tuple, PositConfig] = {}
+        self._unum_config_cache: Dict[tuple, UnumConfig] = {}
+        self._validated_mpfr_attrs: set = set()
+        self._mpfr_cost_cache: Dict[tuple, int] = {}
+        self._compiled_functions: Dict[int, CompiledFunction] = {}
+        self._compiler: Optional[FunctionCompiler] = None
         self._install_builtins()
         self._init_globals()
 
@@ -154,7 +196,8 @@ class Interpreter:
         func = self.module.get_function(name)
         value = self.call_function(func, args or [])
         report = self.accounting.finalize(self.memory)
-        return ExecutionResult(value, report, self.stdout)
+        return ExecutionResult(value, report, self.stdout,
+                               profile=self.profile)
 
     # ------------------------------------------------------------ #
     # Globals
@@ -181,15 +224,16 @@ class Interpreter:
         return int(frame.get(attr))
 
     def vp_config(self, vptype: VPFloatType, frame: Optional[Frame]):
-        """(precision_bits, size_bytes) for a vpfloat type at runtime."""
-        if vptype.format == "posit":
-            from ..unum.posit import PositConfig, PositConfigError
+        """(precision_bits, size_bytes) for a vpfloat type at runtime.
 
-            try:
-                config = PositConfig(self._attr(vptype.exp_attr, frame),
-                                     self._attr(vptype.prec_attr, frame))
-            except PositConfigError as e:
-                raise VPRuntimeError(str(e)) from e
+        Attribute values are always read fresh (from the type's constant
+        or the current frame), so a frame that mutates a dynamic
+        attribute mid-loop resolves against the *current* value; only
+        the derived config objects are cached, keyed by attribute value.
+        """
+        if vptype.format == "posit":
+            config = self._posit_config(self._attr(vptype.exp_attr, frame),
+                                        self._attr(vptype.prec_attr, frame))
             # Working precision for the exact intermediate; the tapered
             # rounding to the format happens per operation.
             return config.max_fraction_bits + 1, config.size_bytes
@@ -198,13 +242,25 @@ class Interpreter:
             return config.precision, config.size_bytes
         exp = self._attr(vptype.exp_attr, frame)
         prec = self._attr(vptype.prec_attr, frame)
-        from ..ir.types import _validate_mpfr_attrs
-
-        try:
-            _validate_mpfr_attrs(exp, prec)
-        except ValueError as e:
-            raise VPRuntimeError(str(e)) from e
+        key = (exp, prec)
+        if key not in self._validated_mpfr_attrs:
+            try:
+                _validate_mpfr_attrs(exp, prec)
+            except ValueError as e:
+                raise VPRuntimeError(str(e)) from e
+            self._validated_mpfr_attrs.add(key)
         return prec, 24 + bigfloat.limb_bytes(prec)
+
+    def _posit_config(self, es: int, max_bits: int) -> PositConfig:
+        key = (es, max_bits)
+        config = self._posit_config_cache.get(key)
+        if config is None:
+            try:
+                config = PositConfig(es, max_bits)
+            except PositConfigError as e:
+                raise VPRuntimeError(str(e)) from e
+            self._posit_config_cache[key] = config
+        return config
 
     def _unum_config(self, vptype: VPFloatType,
                      frame: Optional[Frame]) -> UnumConfig:
@@ -214,10 +270,15 @@ class Interpreter:
                 if vptype.size_attr is not None else None)
         if size == 0:
             size = None
-        try:
-            return UnumConfig(ess, fss, size)
-        except UnumConfigError as e:
-            raise VPRuntimeError(str(e)) from e
+        key = (ess, fss, size)
+        config = self._unum_config_cache.get(key)
+        if config is None:
+            try:
+                config = UnumConfig(ess, fss, size)
+            except UnumConfigError as e:
+                raise VPRuntimeError(str(e)) from e
+            self._unum_config_cache[key] = config
+        return config
 
     def _sizeof(self, type, frame: Optional[Frame]) -> int:
         if isinstance(type, VPFloatType):
@@ -291,6 +352,13 @@ class Interpreter:
     def call_function(self, func: Function, args: List[object]) -> object:
         if func.is_declaration:
             return self._call_builtin(func.name, args, None, None)
+        if len(args) != len(func.args):
+            raise VPRuntimeError(
+                f"{func.name}() takes {len(func.args)} argument(s), "
+                f"got {len(args)}"
+            )
+        if self.dispatch == "fast":
+            return self._call_compiled(func, args)
         costs = self.accounting.costs
         self.accounting.charge("call", costs.call_overhead)
         mark = self.memory.stack_mark()
@@ -314,7 +382,60 @@ class Interpreter:
                 return outcome[1]
             prev_block, block = block, outcome[1]
 
+    def _call_compiled(self, func: Function, args: List[object]) -> object:
+        """Fast-path execution over precompiled closure tables.
+
+        Instruction and step counters advance in block-sized strides, so
+        the execution-limit check may trip up to one block earlier than
+        the legacy per-instruction check; everything else (values,
+        cycles, memory traffic, error behavior) is identical.
+        """
+        compiled = self._compiled_functions.get(id(func))
+        if compiled is None:
+            if self._compiler is None:
+                self._compiler = FunctionCompiler(self)
+            compiled = self._compiler.compile(func)
+            self._compiled_functions[id(func)] = compiled
+        costs = self.accounting.costs
+        self.accounting.charge("call", costs.call_overhead)
+        mark = self.memory.stack_mark()
+        frame = Frame(func, mark)
+        values = frame.values
+        for arg, value in zip(func.args, args):
+            values[id(arg)] = value
+        report = self.accounting.report
+        max_steps = self.max_steps
+        profile = self.profile
+        block = compiled.entry
+        prev = None
+        while True:
+            moves = block.phi_moves.get(prev)
+            if moves is not None:
+                # Stage all reads before any write (phi edge semantics).
+                staged = [(key, getter(frame)) for key, getter in moves]
+                for key, value in staged:
+                    values[key] = value
+            count = block.count
+            self.steps += count
+            if self.steps > max_steps:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_steps} interpreted instructions"
+                )
+            report.instructions += count
+            if profile is not None:
+                profile.count_block(block.tally)
+            for step in block.steps:
+                step(frame)
+            outcome = block.terminator(frame)
+            if outcome.__class__ is tuple:
+                self.memory.stack_release(mark)
+                self.accounting.charge("ret", costs.ret)
+                return outcome[1]
+            prev = block.bid
+            block = outcome
+
     def _run_block(self, block, frame: Frame):
+        profile = self.profile
         for inst in block.instructions:
             if isinstance(inst, PhiInst):
                 continue
@@ -324,6 +445,8 @@ class Interpreter:
                     f"exceeded {self.max_steps} interpreted instructions"
                 )
             self.accounting.instruction()
+            if profile is not None:
+                profile.count_opcode(inst.opcode)
             result = self._execute(inst, frame)
             if isinstance(inst, RetInst):
                 return ("ret", result)
@@ -517,10 +640,11 @@ class Interpreter:
         return value
 
     def _posit_round(self, value: BigFloat, vptype, frame) -> BigFloat:
-        from ..unum.posit import PositConfig, posit_round
-
-        config = PositConfig(self._attr(vptype.exp_attr, frame),
-                             self._attr(vptype.prec_attr, frame))
+        # Attributes are read from the frame on every call (they may be
+        # dynamic and change between iterations); only the validated
+        # PositConfig object is cached, keyed by attribute value.
+        config = self._posit_config(self._attr(vptype.exp_attr, frame),
+                                    self._attr(vptype.prec_attr, frame))
         return posit_round(value, config)
 
     def _as_bigfloat(self, value, prec: int) -> BigFloat:
@@ -548,8 +672,11 @@ class Interpreter:
         return 1 if table[pred] else 0
 
     def _fcmp(self, inst: FCmpInst, frame: Frame) -> int:
-        a = self._value(inst.operands[0], frame)
-        b = self._value(inst.operands[1], frame)
+        return self._fcmp_values(self._value(inst.operands[0], frame),
+                                 self._value(inst.operands[1], frame),
+                                 inst.predicate)
+
+    def _fcmp_values(self, a, b, pred: str) -> int:
         if isinstance(a, BigFloat) or isinstance(b, BigFloat):
             prec = 64
             a = self._as_bigfloat(a, prec)
@@ -559,7 +686,6 @@ class Interpreter:
         else:
             unordered = math.isnan(a) or math.isnan(b)
             cmp = 0 if unordered else (-1 if a < b else (1 if a > b else 0))
-        pred = inst.predicate
         if pred == "ord":
             return 0 if unordered else 1
         if pred == "uno":
@@ -574,7 +700,9 @@ class Interpreter:
         return 1 if (unordered or ordered_result) else 0
 
     def _cast(self, inst: CastInst, frame: Frame):
-        value = self._value(inst.source, frame)
+        return self._cast_value(inst, self._value(inst.source, frame), frame)
+
+    def _cast_value(self, inst: CastInst, value, frame: Frame):
         opcode = inst.opcode
         target = inst.type
         if opcode in ("zext", "sext", "trunc"):
@@ -658,6 +786,13 @@ class Interpreter:
         handler = self._builtins.get(name)
         if handler is None:
             raise VPRuntimeError(f"call to unknown runtime function {name!r}")
+        profile = self.profile
+        if profile is not None:
+            before = self.accounting.report.cycles
+            result = handler(args, inst, frame)
+            profile.record_builtin(name,
+                                   self.accounting.report.cycles - before)
+            return result
         return handler(args, inst, frame)
 
     # ------------------------------------------------------------ #
@@ -873,19 +1008,43 @@ class Interpreter:
     def _install_mpfr_builtins(self) -> None:
         b = self._builtins
         costs = self.accounting.costs
+        report = self.accounting.report
+        charge = self.accounting.charge
+        cost_cache = self._mpfr_cost_cache
+
+        by_cat = report.by_category
+        mem_load = self.memory.load
+        mpfr_op_cost = costs.mpfr_op_cost
 
         def charge_mpfr(name, prec):
-            self.accounting.report.mpfr_calls += 1
-            self.accounting.charge(
-                "mpfr", costs.mpfr_op_cost(name, prec))
+            report.mpfr_calls += 1
+            key = (name, prec)
+            cycles = cost_cache.get(key)
+            if cycles is None:
+                cycles = mpfr_op_cost(name, prec)
+                cost_cache[key] = cycles
+            report.cycles += cycles
+            by_cat["mpfr"] += cycles
+
+        pool_hit_cycles = costs.mpfr_call_overhead + costs.mpfr_pool_hit_extra
+        pool_release_cycles = (costs.mpfr_call_overhead
+                               + costs.mpfr_pool_release_extra)
 
         def init2(args, inst, frame):
             addr, prec = int(args[0]), int(args[1])
             exp_bits = int(args[2]) if len(args) > 2 and args[2] else None
-            var = self.mpfr.init2(prec, exp_bits)
-            self.accounting.report.mpfr_allocations += 1
-            self.accounting.report.heap_allocations += 1
+            var, reused = self.mpfr.acquire(prec, exp_bits)
             self.memory.store(addr, var, 8)
+            if reused:
+                # Free-list hit: the handle and its limb block (still at
+                # var.limb_addr) are recycled in place -- no allocator
+                # round-trip, no new heap footprint.  This is the runtime
+                # counterpart of the lowering pass's dead-object reuse.
+                report.mpfr_calls += 1
+                charge("mpfr", pool_hit_cycles)
+                return None
+            report.mpfr_allocations += 1
+            report.heap_allocations += 1
             # The struct's limb array is heap memory: model its footprint
             # for the cache/bandwidth accounting.
             var.limb_addr = self.memory.alloc_heap(bigfloat.limb_bytes(prec))
@@ -894,9 +1053,15 @@ class Interpreter:
 
         def clear(args, inst, frame):
             var = self._mpfr_handle(args[0])
-            self.mpfr.clear(var)
+            prec = var.prec
+            if self.mpfr.release(var):
+                # Parked on the free list: the limb heap block stays
+                # allocated for the next acquire of this precision.
+                report.mpfr_calls += 1
+                charge("mpfr", pool_release_cycles)
+                return None
             self.memory.free_heap(var.limb_addr)
-            charge_mpfr("mpfr_clear", var.prec)
+            charge_mpfr("mpfr_clear", prec)
             return None
 
         b["mpfr_init2"] = init2
@@ -926,56 +1091,108 @@ class Interpreter:
         b["__mpfr_array_init"] = array_init
         b["__mpfr_array_clear"] = array_clear
 
-        def touch_limbs(var, kind):
-            self.accounting.memory_access(
-                kind, var.limb_addr, bigfloat.limb_bytes(var.prec))
+        cache_model = self.accounting.cache
+        limb_bytes_cache: dict = {}
+
+        if cache_model is not None:
+            def touch_limbs(var, kind):
+                prec = var.prec
+                nbytes = limb_bytes_cache.get(prec)
+                if nbytes is None:
+                    nbytes = bigfloat.limb_bytes(prec)
+                    limb_bytes_cache[prec] = nbytes
+                before = cache_model.access_cycles
+                cache_model.access(kind, var.limb_addr, nbytes)
+                report.cycles += cache_model.access_cycles - before
+        else:
+            def touch_limbs(var, kind):
+                return None
+
+        # Handlers bind the MpfrLibrary method once at install time (no
+        # per-call getattr), memoize per-(name, prec) cycle costs, and
+        # inline the handle load + cost charge (these run once per
+        # dynamic MPFR call -- the hottest path in lowered kernels).
+
+        def _uninitialized(addr):
+            return VPRuntimeError(
+                f"use of uninitialized MPFR object at {int(addr):#x}")
 
         def unary(method_name):
+            method = getattr(self.mpfr, method_name)
+            call_name = f"mpfr_{method_name}"
+
             def handler(args, inst, frame):
-                dst = self._mpfr_handle(args[0])
-                src = self._mpfr_handle(args[1])
-                getattr(self.mpfr, method_name)(dst, src)
+                dst = mem_load(int(args[0]), 8)
+                src = mem_load(int(args[1]), 8)
+                if dst is None or src is None:
+                    raise _uninitialized(args[0] if dst is None else args[1])
+                method(dst, src)
                 touch_limbs(src, "r")
                 touch_limbs(dst, "w")
-                charge_mpfr(f"mpfr_{method_name}", dst.prec)
+                charge_mpfr(call_name, dst.prec)
                 return None
 
             return handler
 
         def binary(method_name):
+            method = getattr(self.mpfr, method_name)
+            call_name = f"mpfr_{method_name}"
+
             def handler(args, inst, frame):
-                dst = self._mpfr_handle(args[0])
-                a = self._mpfr_handle(args[1])
-                bb = self._mpfr_handle(args[2])
-                getattr(self.mpfr, method_name)(dst, a, bb)
+                dst = mem_load(int(args[0]), 8)
+                a = mem_load(int(args[1]), 8)
+                bb = mem_load(int(args[2]), 8)
+                if dst is None or a is None or bb is None:
+                    raise _uninitialized(
+                        args[0] if dst is None else
+                        args[1] if a is None else args[2])
+                method(dst, a, bb)
                 touch_limbs(a, "r")
                 touch_limbs(bb, "r")
                 touch_limbs(dst, "w")
-                charge_mpfr(f"mpfr_{method_name}", dst.prec)
+                prec = dst.prec
+                report.mpfr_calls += 1
+                key = (call_name, prec)
+                cycles = cost_cache.get(key)
+                if cycles is None:
+                    cycles = mpfr_op_cost(call_name, prec)
+                    cost_cache[key] = cycles
+                report.cycles += cycles
+                by_cat["mpfr"] += cycles
                 return None
 
             return handler
 
         def binary_scalar(method_name):
+            method = getattr(self.mpfr, method_name)
+            call_name = f"mpfr_{method_name}"
+
             def handler(args, inst, frame):
-                dst = self._mpfr_handle(args[0])
-                a = self._mpfr_handle(args[1])
-                getattr(self.mpfr, method_name)(dst, a, args[2])
+                dst = mem_load(int(args[0]), 8)
+                a = mem_load(int(args[1]), 8)
+                if dst is None or a is None:
+                    raise _uninitialized(args[0] if dst is None else args[1])
+                method(dst, a, args[2])
                 touch_limbs(a, "r")
                 touch_limbs(dst, "w")
-                charge_mpfr(f"mpfr_{method_name}", dst.prec)
+                charge_mpfr(call_name, dst.prec)
                 return None
 
             return handler
 
         def scalar_first(method_name):
+            method = getattr(self.mpfr, method_name)
+            call_name = f"mpfr_{method_name}"
+
             def handler(args, inst, frame):
-                dst = self._mpfr_handle(args[0])
-                a = self._mpfr_handle(args[2])
-                getattr(self.mpfr, method_name)(dst, args[1], a)
+                dst = mem_load(int(args[0]), 8)
+                a = mem_load(int(args[2]), 8)
+                if dst is None or a is None:
+                    raise _uninitialized(args[0] if dst is None else args[2])
+                method(dst, args[1], a)
                 touch_limbs(a, "r")
                 touch_limbs(dst, "w")
-                charge_mpfr(f"mpfr_{method_name}", dst.prec)
+                charge_mpfr(call_name, dst.prec)
                 return None
 
             return handler
@@ -991,16 +1208,19 @@ class Interpreter:
             b[f"mpfr_{op}"] = unary(op)
 
         def fma_like(method_name):
+            method = getattr(self.mpfr, method_name)
+            call_name = f"mpfr_{method_name}"
+
             def handler(args, inst, frame):
                 dst = self._mpfr_handle(args[0])
                 a = self._mpfr_handle(args[1])
                 bb = self._mpfr_handle(args[2])
                 c = self._mpfr_handle(args[3])
-                getattr(self.mpfr, method_name)(dst, a, bb, c)
+                method(dst, a, bb, c)
                 for v in (a, bb, c):
                     touch_limbs(v, "r")
                 touch_limbs(dst, "w")
-                charge_mpfr(f"mpfr_{method_name}", dst.prec)
+                charge_mpfr(call_name, dst.prec)
                 return None
 
             return handler
@@ -1018,11 +1238,14 @@ class Interpreter:
             return None
 
         def mpfr_set_scalar(method_name):
+            method = getattr(self.mpfr, method_name)
+            call_name = f"mpfr_{method_name}"
+
             def handler(args, inst, frame):
                 dst = self._mpfr_handle(args[0])
-                getattr(self.mpfr, method_name)(dst, args[1])
+                method(dst, args[1])
                 touch_limbs(dst, "w")
-                charge_mpfr(f"mpfr_{method_name}", dst.prec)
+                charge_mpfr(call_name, dst.prec)
                 return None
 
             return handler

@@ -23,11 +23,14 @@ from repro.bigfloat import (
 
 # Keep magnitudes well inside binary64's range so that the 53-bit BigFloat
 # result and the hardware float result are both correctly rounded with no
-# overflow/underflow, hence bit-identical.
+# overflow/underflow, hence bit-identical.  The lower magnitude bound
+# matters as much as the upper one: BigFloat has an MPFR-style unbounded
+# exponent, so a quotient like 2.2e-308 / 1.5 that binary64 flushes into
+# the subnormal range would legitimately disagree with the hardware.
 safe_floats = st.floats(
     allow_nan=False, allow_infinity=False, allow_subnormal=False,
     min_value=-1e100, max_value=1e100,
-)
+).filter(lambda x: x == 0.0 or abs(x) > 1e-100)
 nonzero_floats = safe_floats.filter(lambda x: abs(x) > 1e-100)
 
 
@@ -108,6 +111,39 @@ def test_directed_rounding_brackets_division(x):
     assert third_down <= exact <= third_up
 
 
+wide_ints = st.integers(min_value=1, max_value=(1 << 300) - 1)
+narrow_ints = st.integers(min_value=1, max_value=(1 << 12) - 1)
+
+
+@given(wide_ints, narrow_ints, st.sampled_from([RNDN, RNDD, RNDU, RNDZ]))
+def test_div_wide_dividend_guard_bits(n, d, rm):
+    """Dividend far wider than the divisor drives the pre-division shift
+    to (or past) zero; the quotient must still carry full guard bits so
+    a single rounding matches the exact rational result."""
+    prec = 24
+    a = BigFloat.from_int(n, 320)
+    b = BigFloat.from_int(d, 16)
+    got = div(a, b, prec, rm)
+    want = BigFloat.from_fraction(n, d, prec, rm)
+    assert got == want, (n, d, rm)
+
+
+def test_div_shift_clamped_directed_rounding():
+    """Regression: quotient one bit narrower than the operand-width
+    estimate must not double-round under directed modes."""
+    # (2**200 + 1) / 3: floor quotient bit-length is one short of the
+    # a-b width difference, the historical shortfall case.
+    a = BigFloat.from_int((1 << 200) + 1, 256)
+    b = BigFloat.from_int(3, 8)
+    for rm in (RNDN, RNDD, RNDU, RNDZ):
+        got = div(a, b, 20, rm)
+        want = BigFloat.from_fraction((1 << 200) + 1, 3, 20, rm)
+        assert got == want, rm
+    down = div(a, b, 20, RNDD)
+    up = div(a, b, 20, RNDU)
+    assert down < up  # inexact quotient: the bracket is strict
+
+
 @given(nonzero_floats)
 def test_rndz_magnitude_never_exceeds_exact(x):
     q = div(bf(x), bf(7.0), 30, RNDZ)
@@ -165,6 +201,43 @@ class TestSpecialValues:
         assert add(nz, nz, 53).sign == 1
         assert add(pz, nz, 53).sign == 0  # RNDN: +0
         assert add(pz, nz, 53, RNDD).sign == 1
+
+    def test_fma_exact_cancellation_signed_zero(self):
+        """(+x)*(+y) + (-xy) cancels exactly: +0 except -0 under RNDD,
+        matching mpfr_fma -- never the product's or addend's own sign."""
+        x, y = bf(3.0), bf(0.5)
+        minus_xy = bf(-1.5)
+        for rm, want_sign in ((RNDN, 0), (RNDU, 0), (RNDZ, 0), (RNDD, 1)):
+            z = fma(x, y, minus_xy, 53, rm)
+            assert z.is_zero() and z.sign == want_sign, rm
+            # Mirror case: (-x)*(+y) + xy.
+            z = fma(-x, y, bf(1.5), 53, rm)
+            assert z.is_zero() and z.sign == want_sign, rm
+
+    def test_fms_exact_cancellation_signed_zero(self):
+        """fms(x, y, xy) follows the same exact-sum zero rule."""
+        x, y, xy = bf(3.0), bf(0.5), bf(1.5)
+        for rm, want_sign in ((RNDN, 0), (RNDU, 0), (RNDD, 1)):
+            z = fms(x, y, xy, 53, rm)
+            assert z.is_zero() and z.sign == want_sign, rm
+
+    def test_fma_zero_product_zero_addend_signs(self):
+        """Zero product plus zero addend keeps a common sign; opposite
+        signs fall to the exact-sum rule."""
+        pz, nz, one = BigFloat.zero(), BigFloat.zero(53, 1), BigFloat.from_int(1)
+        same = fma(nz, one, nz, 53)  # (-0)*1 + (-0) = -0
+        assert same.is_zero() and same.sign == 1
+        mixed = fma(pz, one, nz, 53)  # (+0)*1 + (-0) = +0 (RNDN)
+        assert mixed.is_zero() and mixed.sign == 0
+        mixed_d = fma(pz, one, nz, 53, RNDD)
+        assert mixed_d.is_zero() and mixed_d.sign == 1
+
+    def test_fma_nonzero_product_zero_addend_keeps_product_sign(self):
+        nz = BigFloat.zero(53, 1)
+        z = fma(bf(2.0), bf(3.0), nz, 53)
+        assert z.to_float() == 6.0
+        neg = fma(bf(-2.0), bf(3.0), BigFloat.zero(), 53)
+        assert neg.to_float() == -6.0
 
     def test_fma_inf_cases(self):
         inf, one, zero = BigFloat.inf(), BigFloat.from_int(1), BigFloat.zero()

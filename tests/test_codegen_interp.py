@@ -301,12 +301,25 @@ class TestBackendsAgree:
         assert values["none"] == values["mpfr"] == values["boost"]
 
     def test_mpfr_balanced_inits_and_clears(self):
+        # pool=False: this checks the *lowering's* init/clear balance,
+        # so every clear must actually free (not park on the free list).
         program = compile_source(self.SOURCE, backend="mpfr")
-        interp = program.interpreter(cache=False)
+        interp = program.interpreter(cache=False, pool=False)
         interp.run("f", [16])
         stats = interp.mpfr.stats
         assert stats.inits == stats.clears
         assert interp.mpfr.live_objects == 0
+
+    def test_mpfr_pooled_run_balances_calls_and_leaves_nothing_live(self):
+        """With the runtime pool on, the *call* balance still holds and
+        no object stays logically alive; clears park instead of free."""
+        program = compile_source(self.SOURCE, backend="mpfr")
+        interp = program.interpreter(cache=False, pool=True)
+        interp.run("f", [16])
+        stats = interp.mpfr.stats
+        assert stats.by_name["mpfr_init2"] == stats.by_name["mpfr_clear"]
+        assert interp.mpfr.live_objects == 0
+        assert interp.mpfr.pooled_objects() == stats.pool_releases
 
 
 class TestVPFloatGlobals:

@@ -1,0 +1,169 @@
+"""Closure-table dispatch: equivalence with the legacy walker + profiling."""
+
+from repro import compile_source
+from repro.workloads.polybench import source_for
+
+
+def _run_both(source, func, args, backend, n_or_args=None):
+    program = compile_source(source, backend=backend)
+    legacy = program.run(func, args, dispatch="legacy", pool=False)
+    fast = program.run(func, args, dispatch="fast", pool=False)
+    return legacy, fast
+
+
+class TestDispatchEquivalence:
+    """Fast dispatch must charge the same cycles to the same categories
+    and produce the same values as the legacy isinstance walker."""
+
+    def assert_equivalent(self, source, func, args, backend):
+        legacy, fast = _run_both(source, func, args, backend)
+        assert fast.value == legacy.value
+        assert fast.report.cycles == legacy.report.cycles
+        assert fast.report.instructions == legacy.report.instructions
+        assert dict(fast.report.by_category) == \
+            dict(legacy.report.by_category)
+        assert fast.report.mpfr_calls == legacy.report.mpfr_calls
+        assert fast.report.heap_allocations == legacy.report.heap_allocations
+
+    def test_gemm_all_interpreter_backends(self):
+        source = source_for("gemm", "vpfloat<mpfr, 16, 128>")
+        for backend in ("none", "mpfr", "boost"):
+            self.assert_equivalent(source, "run", [5], backend)
+
+    def test_control_flow_heavy(self):
+        source = """
+        int collatz_steps(int n) {
+          int steps = 0;
+          while (n != 1) {
+            if (n % 2 == 0) n = n / 2;
+            else n = 3 * n + 1;
+            steps++;
+          }
+          return steps;
+        }
+        """
+        self.assert_equivalent(source, "collatz_steps", [27], "none")
+
+    def test_float_and_select_paths(self):
+        source = """
+        double f(int n) {
+          float acc = 0.0;
+          for (int i = 1; i <= n; i++) {
+            float x = (float)i / 3.0;
+            acc = acc + (i % 2 == 0 ? x : -x);
+          }
+          return (double)acc;
+        }
+        """
+        self.assert_equivalent(source, "f", [37], "none")
+
+    def test_dynamic_precision_kernel(self):
+        source = """
+        double f(unsigned p) {
+          vpfloat<mpfr, 16, p> tiny = 1.0;
+          for (int i = 0; i < 70; i++) tiny = tiny / 2.0;
+          vpfloat<mpfr, 16, p> one = 1.0;
+          return (double)((one + tiny) - one);
+        }
+        """
+        for backend in ("none", "mpfr"):
+            self.assert_equivalent(source, "f", [120], backend)
+
+    def test_error_still_raised_at_execution_time(self):
+        import pytest
+
+        from repro.runtime import VPRuntimeError
+
+        source = """
+        int f(int n) { return 10 / n; }
+        """
+        program = compile_source(source, backend="none")
+        # Compilation of the closure table must not raise; execution must.
+        assert program.run("f", [5]).value == 2
+        with pytest.raises(VPRuntimeError):
+            program.run("f", [0])
+
+
+class TestRuntimePrecisionFreshness:
+    def test_shrinking_precision_loop_not_stale(self):
+        """A dynamic-precision loop that lowers ``p`` mid-function: each
+        iteration must see the *current* precision, not the cached
+        config of the first.  At p=200 and p=130, 1 + 2^-70 is
+        representable (diff 2^-70 each); at p=60 it rounds away
+        (diff 0).  A stale 200-bit config would yield 3 * 2^-70."""
+        source = """
+        double f(int p) {
+          double acc = 0.0;
+          while (p >= 60) {
+            vpfloat<mpfr, 16, p> tiny = 1.0;
+            for (int i = 0; i < 70; i++) tiny = tiny / 2.0;
+            vpfloat<mpfr, 16, p> one = 1.0;
+            acc = acc + (double)((one + tiny) - one);
+            p = p - 70;
+          }
+          return acc;
+        }
+        """
+        for backend in ("none", "mpfr"):
+            program = compile_source(source, backend=backend)
+            for dispatch in ("fast", "legacy"):
+                result = program.run("f", [200], dispatch=dispatch)
+                assert result.value == 2.0 ** -69, (backend, dispatch)
+
+    def test_vp_config_cache_across_runs(self):
+        """One interpreter, different runtime attrs: the per-config cache
+        must key on the attribute values, not resolve once."""
+        source = """
+        double f(unsigned p) {
+          vpfloat<mpfr, 16, p> tiny = 1.0;
+          for (int i = 0; i < 70; i++) tiny = tiny / 2.0;
+          vpfloat<mpfr, 16, p> one = 1.0;
+          return (double)((one + tiny) - one);
+        }
+        """
+        program = compile_source(source, backend="mpfr")
+        interp = program.interpreter()
+        assert interp.run("f", [60]).value == 0.0
+        assert interp.run("f", [120]).value == 2.0 ** -70
+        assert interp.run("f", [60]).value == 0.0  # cached config reused
+
+
+class TestProfile:
+    def test_profile_counts_opcodes_and_builtins(self):
+        source = source_for("gemm", "vpfloat<mpfr, 16, 128>")
+        program = compile_source(source, backend="mpfr")
+        result = program.run("run", [5], profile=True)
+        profile = result.profile
+        assert profile is not None
+        assert profile.opcode_counts["br"] > 0
+        assert sum(profile.opcode_counts.values()) == \
+            result.report.instructions
+        assert profile.builtin_calls["mpfr_mul"] > 0
+        assert profile.builtin_cycles["mpfr_mul"] > 0
+        top_ops = profile.hottest_opcodes(3)
+        assert len(top_ops) == 3
+        assert top_ops[0][1] >= top_ops[1][1] >= top_ops[2][1]
+        name, calls, cycles = profile.hottest_builtins(1)[0]
+        assert calls > 0 and cycles > 0
+
+    def test_profile_matches_between_dispatch_modes(self):
+        source = source_for("gemm", "vpfloat<mpfr, 16, 128>")
+        program = compile_source(source, backend="mpfr")
+        fast = program.run("run", [4], profile=True, dispatch="fast")
+        legacy = program.run("run", [4], profile=True, dispatch="legacy")
+        assert fast.profile.opcode_counts == legacy.profile.opcode_counts
+        assert fast.profile.builtin_calls == legacy.profile.builtin_calls
+
+    def test_profile_off_by_default(self):
+        result = compile_source("int f() { return 1; }",
+                                backend="none").run("f", [])
+        assert result.profile is None
+
+
+class TestPassTimings:
+    def test_compile_records_pipeline_and_lowering_times(self):
+        source = source_for("gemm", "vpfloat<mpfr, 16, 128>")
+        program = compile_source(source, backend="mpfr")
+        assert "mem2reg" in program.pass_timings
+        assert "mpfr-lowering" in program.pass_timings
+        assert all(t >= 0.0 for t in program.pass_timings.values())
