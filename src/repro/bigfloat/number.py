@@ -69,6 +69,12 @@ class BigFloat:
     def __setattr__(self, name, value):  # noqa: D105
         raise AttributeError("BigFloat is immutable")
 
+    def __reduce__(self):
+        # Slotted + immutable, so default pickling would try setattr;
+        # rebuild through the validating constructor instead.
+        return (BigFloat, (self.kind, self.sign, self.mant,
+                           self.exp, self.prec))
+
     # ---------------------------------------------------------------- #
     # Constructors
     # ---------------------------------------------------------------- #

@@ -14,10 +14,11 @@ function on the modeled machine::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
-from .core import BACKENDS, CompilerDriver
+from .core import BACKENDS, CompileCache, CompilerDriver, default_cache_dir
 
 
 def _parse_run_args(raw: List[str]) -> List[object]:
@@ -71,11 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print opcode/builtin/pool/pass-time profile "
                              "after --run")
-    parser.add_argument("--dispatch", choices=("fast", "legacy"),
+    parser.add_argument("--dispatch",
+                        choices=("fast", "unfused", "legacy"),
                         default="fast",
-                        help="interpreter dispatch engine (default: fast)")
+                        help="interpreter dispatch engine (default: fast; "
+                             "'unfused' disables superinstruction fusion)")
     parser.add_argument("--no-pool", action="store_true",
                         help="disable the runtime MPFR object pool")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent compile-cache directory (default: "
+                             "$VPFLOAT_CACHE_DIR or ~/.cache/vpfloat-repro; "
+                             "created on first use)")
+    parser.add_argument("--no-compile-cache", dest="compile_cache",
+                        action="store_false",
+                        help="always compile from scratch")
     parser.add_argument("--threads", type=int, default=1,
                         help="model OpenMP regions at this thread count")
     return parser
@@ -106,7 +116,13 @@ def _print_profile(result, program) -> None:
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_dir is not None:
+        expanded = os.path.expanduser(args.cache_dir)
+        if os.path.exists(expanded) and not os.path.isdir(expanded):
+            parser.error(f"--cache-dir {args.cache_dir!r} exists and is "
+                         f"not a directory")
     if args.source == "-":
         source = sys.stdin.read()
     else:
@@ -122,6 +138,8 @@ def main(argv=None) -> int:
         reuse_objects=not args.no_reuse,
         specialize_scalars=not args.no_specialize,
         in_place_stores=not args.no_in_place,
+        cache=CompileCache(args.cache_dir or default_cache_dir())
+        if args.compile_cache else None,
     )
     try:
         program = driver.compile(source, name=args.source)

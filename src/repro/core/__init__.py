@@ -27,8 +27,16 @@ from ..passes import build_o3_pipeline
 from ..passes.polly import optimize_unit
 from ..runtime import CostAccounting, ExecutionResult, Interpreter
 from ..runtime.cost_model import CacheModel
+from .cache import CacheStats, CompileCache, as_compile_cache, \
+    default_cache_dir
 
 BACKENDS = ("none", "mpfr", "boost", "unum")
+
+__all__ = [
+    "BACKENDS", "CacheStats", "CompileCache", "CompileOptions",
+    "CompiledProgram", "CompilerDriver", "as_compile_cache",
+    "compile_source", "default_cache_dir",
+]
 
 
 @dataclass
@@ -134,17 +142,37 @@ class CompiledProgram:
 
 
 class CompilerDriver:
-    """parse -> sema -> [polly] -> irgen -> -O3 -> backend."""
+    """parse -> sema -> [polly] -> irgen -> -O3 -> backend.
+
+    ``cache`` (a :class:`CompileCache`, a directory path, or None)
+    short-circuits :meth:`compile`: a hit skips parse/sema/irgen, the
+    whole -O3 pipeline, and the backend lowering, returning a program
+    whose runs are bit-identical to a fresh compile.  Keys cover the
+    source text, the module name, and every :class:`CompileOptions`
+    field, so no stale program can ever be served.
+    """
 
     def __init__(self, backend: str = "mpfr", opt_level: int = 3,
-                 polly: bool = False, **kwargs):
+                 polly: bool = False, cache=None, **kwargs):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {BACKENDS}")
         self.options = CompileOptions(backend=backend, opt_level=opt_level,
                                       polly=polly, **kwargs)
+        self.cache = as_compile_cache(cache)
 
     def compile(self, source: str, name: str = "module") -> CompiledProgram:
+        cache = self.cache
+        if cache is None:
+            return self._compile(source, name)
+        key = cache.fingerprint(source, self.options, name)
+        program = cache.get(key)
+        if program is None:
+            program = self._compile(source, name)
+            cache.put(key, program)
+        return program
+
+    def _compile(self, source: str, name: str = "module") -> CompiledProgram:
         options = self.options
         unit = analyze(parse(source))
         tiled = 0
@@ -190,7 +218,8 @@ class CompilerDriver:
                                pass_timings=timings)
 
 
-def compile_source(source: str, backend: str = "mpfr",
+def compile_source(source: str, backend: str = "mpfr", cache=None,
                    **kwargs) -> CompiledProgram:
     """One-shot convenience wrapper around :class:`CompilerDriver`."""
-    return CompilerDriver(backend=backend, **kwargs).compile(source)
+    return CompilerDriver(backend=backend, cache=cache,
+                          **kwargs).compile(source)

@@ -1,21 +1,48 @@
-"""CLI for the evaluation drivers: ``python -m repro.evaluation <exp>``."""
+"""CLI for the evaluation drivers: ``python -m repro.evaluation <exp>``.
+
+The compute-heavy experiments accept ``--jobs N`` to fan their sweep
+grids out over the parallel evaluation engine
+(:mod:`repro.evaluation.parallel`) and share a persistent compile cache
+(``--cache-dir``, created on first use; ``--no-compile-cache`` to
+disable).
+"""
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import fig1, fig2, fig3, table1, table2, table3
 
 EXPERIMENTS = {
-    "table1": lambda args: table1.main(),
+    "table1": lambda args: table1.main(jobs=args.jobs,
+                                       cache_dir=args.cache_dir,
+                                       compile_cache=args.compile_cache),
     "table2": lambda args: table2.main(),
     "table3": lambda args: table3.main(),
     "fig1": lambda args: fig1.main(dataset=args.dataset,
-                                   raja_n=args.raja_n),
-    "fig2": lambda args: fig2.main(dataset=args.dataset),
-    "fig3": lambda args: fig3.main(n=args.cg_n),
+                                   raja_n=args.raja_n, jobs=args.jobs,
+                                   cache_dir=args.cache_dir,
+                                   compile_cache=args.compile_cache),
+    "fig2": lambda args: fig2.main(dataset=args.dataset, jobs=args.jobs,
+                                   cache_dir=args.cache_dir,
+                                   compile_cache=args.compile_cache),
+    "fig3": lambda args: fig3.main(n=args.cg_n, jobs=args.jobs),
 }
+
+
+def validate_engine_args(parser: argparse.ArgumentParser, jobs: int,
+                         cache_dir) -> None:
+    """Reject bad ``--jobs``/``--cache-dir`` values with a clean
+    diagnostic instead of a traceback from deep inside the engine."""
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+    if cache_dir is not None:
+        expanded = os.path.expanduser(cache_dir)
+        if os.path.exists(expanded) and not os.path.isdir(expanded):
+            parser.error(f"--cache-dir {cache_dir!r} exists and is not "
+                         f"a directory")
 
 
 def main(argv=None) -> int:
@@ -31,7 +58,19 @@ def main(argv=None) -> int:
                         help="RAJAPerf vector length (default: 256)")
     parser.add_argument("--cg-n", type=int, default=64,
                         help="CG matrix size (default: 64)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for the sweep grids "
+                             "(default: 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent compile-cache directory "
+                             "(default: $VPFLOAT_CACHE_DIR or "
+                             "~/.cache/vpfloat-repro; created on "
+                             "first use)")
+    parser.add_argument("--no-compile-cache", dest="compile_cache",
+                        action="store_false",
+                        help="recompile every sweep point from scratch")
     args = parser.parse_args(argv)
+    validate_engine_args(parser, args.jobs, args.cache_dir)
     if args.experiment == "all":
         for name in ("table1", "table2", "table3", "fig1", "fig2", "fig3"):
             print(f"\n=== {name} ===\n")

@@ -59,32 +59,39 @@ class Fig1Point:
         return self.best_boost / self.best_vpfloat
 
 
+def _polybench_point(kernel: str, n: int, prec: int, with_polly: bool,
+                     max_steps: int) -> Fig1Point:
+    ftype = f"vpfloat<mpfr, 16, {prec}>"
+    vp = run_kernel(kernel, ftype, n, backend="mpfr",
+                    read_outputs=False, max_steps=max_steps)
+    boost = run_kernel(kernel, ftype, n, backend="boost",
+                       read_outputs=False, max_steps=max_steps)
+    vp_polly = boost_polly = None
+    if with_polly:
+        vp_polly = run_kernel(kernel, ftype, n, backend="mpfr",
+                              polly=True, read_outputs=False,
+                              max_steps=max_steps).report.cycles
+        boost_polly = run_kernel(kernel, ftype, n, backend="boost",
+                                 polly=True, read_outputs=False,
+                                 max_steps=max_steps).report.cycles
+    return Fig1Point(kernel, prec, vp.report.cycles,
+                     boost.report.cycles, vp_polly, boost_polly)
+
+
 def run_fig1_polybench(kernels: Sequence[str] = FIG1_KERNELS,
                        dataset: str = "small",
                        precisions: Sequence[int] = PRECISIONS,
                        with_polly: bool = True,
-                       max_steps: int = 2_000_000_000) -> List[Fig1Point]:
-    points: List[Fig1Point] = []
-    for kernel in kernels:
-        n = KERNELS[kernel].size_for(dataset)
-        for prec in precisions:
-            ftype = f"vpfloat<mpfr, 16, {prec}>"
-            vp = run_kernel(kernel, ftype, n, backend="mpfr",
-                            read_outputs=False, max_steps=max_steps)
-            boost = run_kernel(kernel, ftype, n, backend="boost",
-                               read_outputs=False, max_steps=max_steps)
-            vp_polly = boost_polly = None
-            if with_polly:
-                vp_polly = run_kernel(kernel, ftype, n, backend="mpfr",
-                                      polly=True, read_outputs=False,
-                                      max_steps=max_steps).report.cycles
-                boost_polly = run_kernel(kernel, ftype, n, backend="boost",
-                                         polly=True, read_outputs=False,
-                                         max_steps=max_steps).report.cycles
-            points.append(Fig1Point(kernel, prec, vp.report.cycles,
-                                    boost.report.cycles, vp_polly,
-                                    boost_polly))
-    return points
+                       max_steps: int = 2_000_000_000, jobs: int = 1,
+                       cache_dir=None,
+                       compile_cache: bool = True) -> List[Fig1Point]:
+    from .parallel import parallel_map
+
+    tasks = [(kernel, KERNELS[kernel].size_for(dataset), prec,
+              with_polly, max_steps)
+             for kernel in kernels for prec in precisions]
+    return parallel_map(_polybench_point, tasks, jobs=jobs,
+                        cache_dir=cache_dir, compile_cache=compile_cache)
 
 
 @dataclass
@@ -101,31 +108,46 @@ class RajaPoint:
         return self.boost_time / self.vpfloat_time
 
 
+def _raja_point(kernel: str, variant: str, kwargs: dict, openmp: bool,
+                n: int, precision: int, threads: int,
+                max_steps: int) -> RajaPoint:
+    from .harness import get_compile_cache
+
+    ftype = f"vpfloat<mpfr, 16, {precision}>"
+    source = raja_source(kernel, ftype, openmp=openmp)
+    times = {}
+    for backend in ("mpfr", "boost"):
+        program = CompilerDriver(backend=backend,
+                                 cache=get_compile_cache(),
+                                 **kwargs).compile(source)
+        result = program.run("run", [n], max_steps=max_steps)
+        if openmp:
+            # RAJAPerf times the kernel region itself.
+            times[backend] = result.report.kernel_time(threads)
+        else:
+            times[backend] = float(result.report.cycles)
+    return RajaPoint(kernel, variant, precision, openmp,
+                     times["mpfr"], times["boost"])
+
+
 def run_fig1_rajaperf(kernels: Optional[Sequence[str]] = None,
                       n: int = DEFAULT_N,
                       precision: int = 256,
                       threads: int = PAPER_THREADS,
-                      max_steps: int = 2_000_000_000) -> List[RajaPoint]:
+                      max_steps: int = 2_000_000_000, jobs: int = 1,
+                      cache_dir=None,
+                      compile_cache: bool = True) -> List[RajaPoint]:
+    from .parallel import parallel_map
+
     kernels = list(kernels or RAJA_KERNELS)
-    ftype = f"vpfloat<mpfr, 16, {precision}>"
-    points: List[RajaPoint] = []
-    for openmp, variant_map in ((False, VARIANTS), (True, OMP_VARIANTS)):
-        for variant, kwargs in variant_map.items():
-            for kernel in kernels:
-                source = raja_source(kernel, ftype, openmp=openmp)
-                times = {}
-                for backend in ("mpfr", "boost"):
-                    program = CompilerDriver(backend=backend,
-                                             **kwargs).compile(source)
-                    result = program.run("run", [n], max_steps=max_steps)
-                    if openmp:
-                        # RAJAPerf times the kernel region itself.
-                        times[backend] = result.report.kernel_time(threads)
-                    else:
-                        times[backend] = float(result.report.cycles)
-                points.append(RajaPoint(kernel, variant, precision, openmp,
-                                        times["mpfr"], times["boost"]))
-    return points
+    tasks = [
+        (kernel, variant, kwargs, openmp, n, precision, threads, max_steps)
+        for openmp, variant_map in ((False, VARIANTS), (True, OMP_VARIANTS))
+        for variant, kwargs in variant_map.items()
+        for kernel in kernels
+    ]
+    return parallel_map(_raja_point, tasks, jobs=jobs,
+                        cache_dir=cache_dir, compile_cache=compile_cache)
 
 
 def summarize_fig1(polybench: List[Fig1Point],
@@ -174,9 +196,13 @@ def format_fig1(polybench: List[Fig1Point],
     return "\n".join(lines)
 
 
-def main(dataset: str = "mini", raja_n: int = 256) -> str:
-    polybench = run_fig1_polybench(dataset=dataset)
-    rajaperf = run_fig1_rajaperf(n=raja_n)
+def main(dataset: str = "mini", raja_n: int = 256, jobs: int = 1,
+         cache_dir=None, compile_cache: bool = True) -> str:
+    polybench = run_fig1_polybench(dataset=dataset, jobs=jobs,
+                                   cache_dir=cache_dir,
+                                   compile_cache=compile_cache)
+    rajaperf = run_fig1_rajaperf(n=raja_n, jobs=jobs, cache_dir=cache_dir,
+                                 compile_cache=compile_cache)
     text = format_fig1(polybench, rajaperf)
     print(text)
     return text

@@ -43,33 +43,47 @@ class Fig2Point:
         return self.mpfr_cycles / self.unum_cycles
 
 
+def _fig2_point(kernel: str, n: int, polly: bool,
+                max_steps: int) -> Fig2Point:
+    # The software baseline executes on the in-order Rocket core
+    # of the FPGA platform (paper: "All benchmarks including
+    # baseline MPFR implementations have been compiled to the
+    # RISC-V ISA").
+    mpfr_type = f"vpfloat<mpfr, 16, {MPFR_PRECISION}>"
+    mpfr = run_kernel(kernel, mpfr_type, n, backend="mpfr",
+                      polly=polly, read_outputs=False,
+                      max_steps=max_steps,
+                      costs=ROCKET_CYCLE_COSTS)
+    unum = run_kernel(kernel, UNUM_TYPE, n, backend="unum",
+                      polly=polly, read_outputs=False,
+                      max_steps=max_steps)
+    return Fig2Point(kernel, polly, float(mpfr.report.cycles),
+                     float(unum.report.cycles))
+
+
 def run_fig2(kernels: Sequence[str] = FIG2_KERNELS,
              dataset: str = "mini",
              model_erratum: bool = True,
-             max_steps: int = 2_000_000_000) -> List[Fig2Point]:
+             max_steps: int = 2_000_000_000, jobs: int = 1,
+             cache_dir=None,
+             compile_cache: bool = True) -> List[Fig2Point]:
+    from .parallel import parallel_map
+
+    grid = [(kernel, polly) for kernel in kernels
+            for polly in (False, True)]
+    tasks = [(kernel, KERNELS[kernel].size_for(dataset), polly, max_steps)
+             for kernel, polly in grid
+             if not (model_erratum and (kernel, polly) in FIG2_HW_FAILURES)]
+    computed = iter(parallel_map(_fig2_point, tasks, jobs=jobs,
+                                 cache_dir=cache_dir,
+                                 compile_cache=compile_cache))
     points: List[Fig2Point] = []
-    mpfr_type = f"vpfloat<mpfr, 16, {MPFR_PRECISION}>"
-    for kernel in kernels:
-        n = KERNELS[kernel].size_for(dataset)
-        for polly in (False, True):
-            if model_erratum and (kernel, polly) in FIG2_HW_FAILURES:
-                points.append(Fig2Point(kernel, polly, None, None,
-                                        hw_failure=True))
-                continue
-            # The software baseline executes on the in-order Rocket core
-            # of the FPGA platform (paper: "All benchmarks including
-            # baseline MPFR implementations have been compiled to the
-            # RISC-V ISA").
-            mpfr = run_kernel(kernel, mpfr_type, n, backend="mpfr",
-                              polly=polly, read_outputs=False,
-                              max_steps=max_steps,
-                              costs=ROCKET_CYCLE_COSTS)
-            unum = run_kernel(kernel, UNUM_TYPE, n, backend="unum",
-                              polly=polly, read_outputs=False,
-                              max_steps=max_steps)
-            points.append(Fig2Point(kernel, polly,
-                                    float(mpfr.report.cycles),
-                                    float(unum.report.cycles)))
+    for kernel, polly in grid:
+        if model_erratum and (kernel, polly) in FIG2_HW_FAILURES:
+            points.append(Fig2Point(kernel, polly, None, None,
+                                    hw_failure=True))
+        else:
+            points.append(next(computed))
     return points
 
 
@@ -98,7 +112,10 @@ def format_fig2(points: List[Fig2Point]) -> str:
     return "\n".join(lines)
 
 
-def main(dataset: str = "mini") -> str:
-    text = format_fig2(run_fig2(dataset=dataset))
+def main(dataset: str = "mini", jobs: int = 1, cache_dir=None,
+         compile_cache: bool = True) -> str:
+    text = format_fig2(run_fig2(dataset=dataset, jobs=jobs,
+                                cache_dir=cache_dir,
+                                compile_cache=compile_cache))
     print(text)
     return text

@@ -46,10 +46,32 @@ class Fig3Result:
         return None
 
 
+def _sweep_point(n: int, condition: float, precision: int,
+                 tolerance: float, max_iterations: int) -> SweepPoint:
+    """One precision of the CG sweep.  The matrix build is
+    deterministic (seeded), so every worker reconstructs the same
+    system rather than shipping it across the process boundary."""
+    matrix = bcsstk20_like(n=n, condition=condition)
+    b = rhs_for(matrix)
+    return precision_sweep(matrix, b, (precision,), tolerance,
+                           max_iterations)[0]
+
+
 def run_fig3(n: int = 64, condition: float = 3.9e12,
              precisions: Sequence[int] = DEFAULT_PRECISIONS,
              tolerance: float = 1e-12,
-             max_iterations: int = 4000) -> Fig3Result:
+             max_iterations: int = 4000, jobs: int = 1) -> Fig3Result:
+    if jobs > 1:
+        from .parallel import parallel_map
+
+        tasks = [(n, condition, prec, tolerance, max_iterations)
+                 for prec in precisions]
+        # CG compiles nothing (it runs on the BLAS layer directly), so
+        # the engine is used purely for sharding.
+        points = parallel_map(_sweep_point, tasks, jobs=jobs,
+                              compile_cache=False)
+        return Fig3Result(points=points, matrix_size=n,
+                          condition=condition)
     matrix = bcsstk20_like(n=n, condition=condition)
     b = rhs_for(matrix)
     points = precision_sweep(matrix, b, precisions, tolerance,
@@ -87,7 +109,7 @@ def format_fig3(result: Fig3Result) -> str:
     return "\n".join(lines)
 
 
-def main(n: int = 64) -> str:
-    text = format_fig3(run_fig3(n=n))
+def main(n: int = 64, jobs: int = 1) -> str:
+    text = format_fig3(run_fig3(n=n, jobs=jobs))
     print(text)
     return text

@@ -21,6 +21,25 @@ Number = Union[float, BigFloat]
 
 _MPFR_STRUCT_BYTES = 24
 
+#: Process-global default compile cache: installed by the parallel
+#: engine's worker initializer (per-shard warm caches) or by a driver
+#: before a sweep.  ``run_kernel`` uses it whenever the caller leaves
+#: ``compile_cache`` unset.
+_COMPILE_CACHE = None
+_UNSET = object()
+
+
+def set_compile_cache(cache):
+    """Install the process default compile cache; returns the old one."""
+    global _COMPILE_CACHE
+    previous = _COMPILE_CACHE
+    _COMPILE_CACHE = cache
+    return previous
+
+
+def get_compile_cache():
+    return _COMPILE_CACHE
+
 
 @dataclass
 class RunOutcome:
@@ -42,24 +61,55 @@ class RunOutcome:
 def parse_ftype(ftype: str) -> Tuple[str, dict]:
     """Classify an element type string.
 
-    Returns ("double"/"float"/"mpfr"/"unum", params).
+    Returns ("double"/"float"/"mpfr"/"unum", params).  The mpfr form
+    accepts both the 3-argument ``vpfloat<mpfr, exp, prec>`` and the
+    4-argument ``vpfloat<mpfr, exp, prec, size>`` spelling (``size`` in
+    bytes, a storage bound that must hold the significand).
     """
-    if ftype == "double":
+    text = ftype.strip() if isinstance(ftype, str) else ftype
+    if text == "double":
         return "double", {}
-    if ftype == "float":
+    if text == "float":
         return "float", {}
-    match = re.match(r"vpfloat<\s*mpfr\s*,\s*(\d+)\s*,\s*(\d+)\s*>", ftype)
+    match = re.fullmatch(
+        r"vpfloat<\s*mpfr\s*,\s*(\d+)\s*,\s*(\d+)\s*(?:,\s*(\d+)\s*)?>",
+        text or "")
     if match:
-        return "mpfr", {"exp": int(match.group(1)),
-                        "prec": int(match.group(2))}
-    match = re.match(
+        prec = int(match.group(2))
+        size = int(match.group(3)) if match.group(3) else None
+        if size is not None and size * 8 < prec:
+            raise ValueError(
+                f"element type {ftype!r}: declared size of {size} bytes "
+                f"cannot hold a {prec}-bit significand")
+        params = {"exp": int(match.group(1)), "prec": prec}
+        if size is not None:
+            params["size"] = size
+        return "mpfr", params
+    match = re.fullmatch(
         r"vpfloat<\s*unum\s*,\s*(\d+)\s*,\s*(\d+)\s*(?:,\s*(\d+)\s*)?>",
-        ftype)
+        text or "")
     if match:
         size = int(match.group(3)) if match.group(3) else None
         return "unum", {"ess": int(match.group(1)),
                         "fss": int(match.group(2)), "size": size}
-    raise ValueError(f"unrecognized element type {ftype!r}")
+    raise ValueError(
+        f"unrecognized element type {ftype!r}; expected 'double', "
+        f"'float', 'vpfloat<mpfr, EXP, PREC[, SIZE]>', or "
+        f"'vpfloat<unum, ESS, FSS[, SIZE]>'")
+
+
+def canonical_source_ftype(ftype: str) -> str:
+    """The spelling embedded into generated kernel sources.
+
+    The 4-argument mpfr form collapses to the 3-argument one: the byte
+    size is a storage annotation the toolchain's mpfr ABI fixes itself
+    (header + limbs), so the compiled source is identical -- and shares
+    a compile-cache entry -- with the unannotated spelling.
+    """
+    kind, params = parse_ftype(ftype)
+    if kind == "mpfr" and "size" in params:
+        return f"vpfloat<mpfr, {params['exp']}, {params['prec']}>"
+    return ftype
 
 
 def element_stride(ftype: str, backend: str) -> int:
@@ -86,15 +136,22 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
                max_steps: int = 500_000_000, costs=None,
                dispatch: str = "fast", profile: bool = False,
                pool: Optional[bool] = None,
+               compile_cache=_UNSET,
                **driver_kwargs) -> RunOutcome:
     """Compile + execute one PolyBench kernel; extract its outputs.
 
     ``dispatch``/``profile``/``pool`` select the interpreter execution
     mode and observability layer (see :meth:`CompiledProgram.run`); they
-    are ignored by the unum machine backend."""
+    are ignored by the unum machine backend.  ``compile_cache`` is a
+    :class:`~repro.core.CompileCache` (or None to force a fresh
+    compile); left unset, the process default installed via
+    :func:`set_compile_cache` applies."""
     spec = KERNELS[kernel]
-    source = source_for(kernel, ftype)
-    driver = CompilerDriver(backend=backend, polly=polly, **driver_kwargs)
+    source = source_for(kernel, canonical_source_ftype(ftype))
+    if compile_cache is _UNSET:
+        compile_cache = _COMPILE_CACHE
+    driver = CompilerDriver(backend=backend, polly=polly,
+                            cache=compile_cache, **driver_kwargs)
     program = driver.compile(source, name=f"{kernel}-{backend}")
     kind, params = parse_ftype(ftype)
 

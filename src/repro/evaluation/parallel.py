@@ -1,0 +1,210 @@
+"""Parallel sharded evaluation engine for the paper's sweeps.
+
+The evaluation drivers (Tables I-III, Figs. 1-3) walk grids of
+(kernel, element type, size, backend) points.  Every point is
+independent, so this module fans them out over ``multiprocessing``
+workers:
+
+* **Deterministic sharding** -- task ``i`` always lands in shard
+  ``i % jobs`` (:func:`shard_tasks`), and each shard preserves task
+  order, so a worker sweeps *its* points in a stable sequence and the
+  collected results are returned in exactly the submission order,
+  independent of worker scheduling.
+* **Per-shard warm caches** -- each worker process installs a
+  :class:`~repro.core.cache.CompileCache` over a shared on-disk
+  directory (:func:`repro.evaluation.harness.set_compile_cache`), so
+  repeated compilations hit the process-local LRU and first-time
+  compilations are persisted for every other worker and every later
+  run.
+* **Structured results** -- tasks return plain data
+  (:class:`~repro.evaluation.harness.RunOutcome`: outputs +
+  CostReport + mpfr_stats + pass_timings), pickled back to the parent.
+* **Graceful degradation** -- ``jobs=1`` (or a single task) runs
+  serially in-process with identical semantics; a broken worker pool
+  (crashed process, sandbox without POSIX semaphores, ...) falls back
+  to the serial path instead of surfacing a stack of multiprocessing
+  internals.
+
+Exceptions raised *by a task* are not crashes: they are re-raised in
+the parent as :class:`EvaluationTaskError` carrying the worker's
+traceback, matching serial behavior.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core.cache import CompileCache, default_cache_dir
+from .harness import RunOutcome, run_kernel, set_compile_cache
+
+
+class EvaluationTaskError(RuntimeError):
+    """A sweep task failed; carries the worker-side traceback."""
+
+    def __init__(self, index: int, message: str):
+        super().__init__(f"evaluation task #{index} failed:\n{message}")
+        self.index = index
+
+
+def shard_tasks(count: int, jobs: int) -> List[List[int]]:
+    """Round-robin task indices into ``jobs`` shards, order-preserving.
+
+    Task ``i`` goes to shard ``i % jobs`` -- a pure function of the
+    grid, never of scheduling -- so reruns assign identical work and
+    per-shard compile-cache warmth is reproducible.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    shards = [[] for _ in range(min(jobs, count) or 1)]
+    for index in range(count):
+        shards[index % len(shards)].append(index)
+    return [shard for shard in shards if shard]
+
+
+# ----------------------------------------------------------------- #
+# Worker side
+# ----------------------------------------------------------------- #
+
+def _worker_init(cache_dir: Optional[str], use_cache: bool) -> None:
+    """Install this worker's compile cache (process-global default)."""
+    set_compile_cache(CompileCache(cache_dir) if use_cache else None)
+
+
+def _run_shard(fn: Callable, shard: List[Tuple[int, tuple]]):
+    """Execute one shard's tasks in order; never raises (returns
+    per-task (index, ok, payload) triples so one failed point does not
+    discard its siblings' finished work)."""
+    results = []
+    for index, args in shard:
+        try:
+            results.append((index, True, fn(*args)))
+        except Exception:
+            results.append((index, False, traceback.format_exc()))
+    return results
+
+
+# ----------------------------------------------------------------- #
+# Engine
+# ----------------------------------------------------------------- #
+
+def _pool_context():
+    """Fork where available (fast, inherits sys.path), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _run_serial(fn: Callable, tasks: Sequence[tuple],
+                cache: Optional[CompileCache]) -> List[Any]:
+    previous = set_compile_cache(cache)
+    try:
+        return [fn(*args) for args in tasks]
+    finally:
+        set_compile_cache(previous)
+
+
+def _run_pool(fn: Callable, tasks: Sequence[tuple], jobs: int,
+              cache_dir: Optional[str], use_cache: bool) -> List[Any]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    shards = shard_tasks(len(tasks), jobs)
+    slots: List[Any] = [None] * len(tasks)
+    failures: List[Tuple[int, str]] = []
+    with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=_pool_context(),
+            initializer=_worker_init,
+            initargs=(cache_dir, use_cache)) as pool:
+        futures = [
+            pool.submit(_run_shard, fn,
+                        [(i, tasks[i]) for i in shard])
+            for shard in shards
+        ]
+        for future in futures:
+            for index, ok, payload in future.result():
+                if ok:
+                    slots[index] = payload
+                else:
+                    failures.append((index, payload))
+    if failures:
+        index, text = min(failures)
+        raise EvaluationTaskError(index, text)
+    return slots
+
+
+def parallel_map(fn: Callable, tasks: Sequence[tuple], jobs: int = 1,
+                 cache_dir: Optional[str] = None,
+                 compile_cache: bool = True) -> List[Any]:
+    """Run ``fn(*args)`` for every args-tuple in ``tasks``.
+
+    Results come back in task order.  ``fn`` must be a module-level
+    callable (workers import it by reference) and both its arguments
+    and results must pickle.
+
+    ``jobs=1`` runs serially in-process.  ``cache_dir=None`` uses
+    :func:`repro.core.cache.default_cache_dir`; ``compile_cache=False``
+    disables compile caching entirely (every point pays the full
+    middle-end, the uncached-baseline configuration).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    resolved_dir = cache_dir if cache_dir is not None \
+        else default_cache_dir()
+    if jobs == 1 or len(tasks) == 1:
+        cache = CompileCache(resolved_dir) if compile_cache else None
+        return _run_serial(fn, tasks, cache)
+    try:
+        return _run_pool(fn, tasks, jobs, resolved_dir, compile_cache)
+    except EvaluationTaskError:
+        raise
+    except Exception as error:
+        # Broken pool / unpicklable environment / no semaphores:
+        # degrade to the serial engine rather than failing the sweep.
+        print(f"warning: parallel evaluation degraded to serial "
+              f"({type(error).__name__}: {error})", file=sys.stderr)
+        cache = CompileCache(resolved_dir) if compile_cache else None
+        return _run_serial(fn, tasks, cache)
+
+
+# ----------------------------------------------------------------- #
+# Kernel grids
+# ----------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One (kernel, ftype, n, backend) sweep point.
+
+    ``options`` holds extra :func:`run_kernel` keyword arguments as a
+    sorted tuple of items, keeping the point hashable and picklable.
+    """
+
+    kernel: str
+    ftype: str
+    n: int
+    backend: str = "none"
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, kernel: str, ftype: str, n: int,
+             backend: str = "none", **options) -> "GridPoint":
+        return cls(kernel, ftype, n, backend,
+                   tuple(sorted(options.items())))
+
+
+def _eval_point(point: GridPoint) -> RunOutcome:
+    return run_kernel(point.kernel, point.ftype, point.n,
+                      backend=point.backend, **dict(point.options))
+
+
+def run_grid(points: Sequence[GridPoint], jobs: int = 1,
+             cache_dir: Optional[str] = None,
+             compile_cache: bool = True) -> List[RunOutcome]:
+    """Evaluate a grid of sweep points; outcomes in grid order."""
+    return parallel_map(_eval_point, [(p,) for p in points], jobs=jobs,
+                        cache_dir=cache_dir, compile_cache=compile_cache)

@@ -44,25 +44,39 @@ class Table1Cell:
         return to_str(self.residual, 2)
 
 
+def _cell_group(kernel: str, dataset: str,
+                max_steps: int) -> List[Table1Cell]:
+    """All four rows of one (kernel, dataset) column.
+
+    This is the parallel engine's unit of work: the 700-bit reference
+    run is shared by the column's rows, so sharding below this
+    granularity would recompute it."""
+    n = KERNELS[kernel].size_for(dataset)
+    reference = run_kernel(kernel, REFERENCE_TYPE, n,
+                           backend="none", cache=False,
+                           max_steps=max_steps)
+    cells: List[Table1Cell] = []
+    for row_name, ftype in ROW_TYPES:
+        outcome = run_kernel(kernel, ftype, n, backend="none",
+                             cache=False, max_steps=max_steps)
+        residual = residual_error(outcome.outputs, reference.outputs)
+        cells.append(Table1Cell(kernel, row_name, dataset, n, residual))
+    return cells
+
+
 def run_table1(kernels: Sequence[str] = TABLE1_KERNELS,
                datasets: Sequence[str] = DATASET_ORDER,
-               max_steps: int = 2_000_000_000) -> List[Table1Cell]:
-    cells: List[Table1Cell] = []
-    for kernel in kernels:
-        spec = KERNELS[kernel]
-        for dataset in datasets:
-            n = spec.size_for(dataset)
-            reference = run_kernel(kernel, REFERENCE_TYPE, n,
-                                   backend="none", cache=False,
-                                   max_steps=max_steps)
-            for row_name, ftype in ROW_TYPES:
-                outcome = run_kernel(kernel, ftype, n, backend="none",
-                                     cache=False, max_steps=max_steps)
-                residual = residual_error(outcome.outputs,
-                                          reference.outputs)
-                cells.append(Table1Cell(kernel, row_name, dataset, n,
-                                        residual))
-    return cells
+               max_steps: int = 2_000_000_000, jobs: int = 1,
+               cache_dir=None,
+               compile_cache: bool = True) -> List[Table1Cell]:
+    from .parallel import parallel_map
+
+    tasks = [(kernel, dataset, max_steps)
+             for kernel in kernels for dataset in datasets]
+    groups = parallel_map(_cell_group, tasks, jobs=jobs,
+                          cache_dir=cache_dir,
+                          compile_cache=compile_cache)
+    return [cell for group in groups for cell in group]
 
 
 def format_table1(cells: List[Table1Cell]) -> str:
@@ -93,7 +107,8 @@ def format_table1(cells: List[Table1Cell]) -> str:
     return "\n".join(lines)
 
 
-def main() -> str:
-    text = format_table1(run_table1())
+def main(jobs: int = 1, cache_dir=None, compile_cache: bool = True) -> str:
+    text = format_table1(run_table1(jobs=jobs, cache_dir=cache_dir,
+                                    compile_cache=compile_cache))
     print(text)
     return text

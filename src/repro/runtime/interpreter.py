@@ -134,8 +134,11 @@ class Interpreter:
 
     ``dispatch`` selects the execution engine: ``"fast"`` (default)
     compiles each function's blocks to closure tables on first call
-    (:mod:`repro.runtime.dispatch`); ``"legacy"`` walks the original
-    per-instruction isinstance chain.  Both charge identical cycles.
+    (:mod:`repro.runtime.dispatch`) with superinstruction fusion of
+    adjacent load+arith / arith+store / cmp+branch pairs; ``"unfused"``
+    uses the same closure tables without fusion; ``"legacy"`` walks the
+    original per-instruction isinstance chain.  All three charge
+    identical cycles.
 
     ``mpfr_pool`` enables the runtime free-list in the backing
     :class:`~repro.bigfloat.MpfrLibrary`: ``mpfr_clear`` parks handles
@@ -156,7 +159,7 @@ class Interpreter:
                  profile: bool = False,
                  mpfr_pool: bool = False,
                  pool_limit: int = 1024):
-        if dispatch not in ("fast", "legacy"):
+        if dispatch not in ("fast", "unfused", "legacy"):
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.module = module
         self.accounting = accounting or CostAccounting(cache=None)
@@ -357,7 +360,7 @@ class Interpreter:
                 f"{func.name}() takes {len(func.args)} argument(s), "
                 f"got {len(args)}"
             )
-        if self.dispatch == "fast":
+        if self.dispatch != "legacy":
             return self._call_compiled(func, args)
         costs = self.accounting.costs
         self.accounting.charge("call", costs.call_overhead)
@@ -393,7 +396,8 @@ class Interpreter:
         compiled = self._compiled_functions.get(id(func))
         if compiled is None:
             if self._compiler is None:
-                self._compiler = FunctionCompiler(self)
+                self._compiler = FunctionCompiler(
+                    self, fuse=(self.dispatch == "fast"))
             compiled = self._compiler.compile(func)
             self._compiled_functions[id(func)] = compiled
         costs = self.accounting.costs

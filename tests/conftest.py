@@ -1,0 +1,14 @@
+"""Shared test fixtures.
+
+The persistent compile cache honours ``VPFLOAT_CACHE_DIR``; tests are
+redirected into a per-session temporary directory so runs stay hermetic
+(nothing is written to, or read from, the user's real cache).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_compile_cache(tmp_path_factory, monkeypatch):
+    cache_dir = tmp_path_factory.getbasetemp() / "vpfloat-cache"
+    monkeypatch.setenv("VPFLOAT_CACHE_DIR", str(cache_dir))

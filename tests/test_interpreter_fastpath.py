@@ -84,6 +84,93 @@ class TestDispatchEquivalence:
             program.run("f", [0])
 
 
+class TestSuperinstructionFusion:
+    """Fused ("fast"), unfused, and legacy engines must agree on
+    outputs and on every cycle category, bit for bit."""
+
+    def _run_all(self, source, func, args, backend, n_points=0):
+        program = compile_source(source, backend=backend)
+        results = {}
+        for dispatch in ("legacy", "unfused", "fast"):
+            r = program.run(func, args, dispatch=dispatch, pool=False)
+            results[dispatch] = (
+                r.value, r.report.cycles, r.report.instructions,
+                dict(r.report.by_category), r.report.mpfr_calls,
+                r.report.heap_allocations)
+        assert results["fast"] == results["unfused"] == results["legacy"]
+        return results["fast"]
+
+    def test_gemm_all_engines(self):
+        for backend in ("none", "mpfr", "boost"):
+            source = source_for("gemm", "vpfloat<mpfr, 16, 128>")
+            self._run_all(source, "run", [5], backend)
+
+    def test_jacobi_all_engines(self):
+        for backend in ("none", "mpfr"):
+            source = source_for("jacobi-1d", "vpfloat<mpfr, 16, 128>")
+            self._run_all(source, "run", [8], backend)
+
+    def test_fusion_actually_fires_on_gemm(self):
+        """Guard against the fuser silently matching nothing."""
+        from repro.runtime.dispatch import FunctionCompiler
+        from repro.runtime.interpreter import Interpreter
+
+        source = source_for("gemm", "vpfloat<mpfr, 16, 128>")
+        program = compile_source(source, backend="none")
+        interp = Interpreter(program.module, dispatch="fast")
+        compiler = FunctionCompiler(interp, fuse=True)
+        unfused = FunctionCompiler(interp, fuse=False)
+        func = program.module.get_function("run")
+        fused_steps = sum(
+            len(b.steps) for b in compiler.compile(func).blocks.values())
+        plain_steps = sum(
+            len(b.steps) for b in unfused.compile(func).blocks.values())
+        assert fused_steps < plain_steps
+
+    def test_multi_user_producers_write_through(self):
+        """A loaded/computed value consumed by the next instruction AND
+        a later one must still land in the frame (write-through), in
+        every engine."""
+        source = """
+        double f(int n) {
+          double buf[4];
+          buf[0] = 1.5;
+          double acc = 0.0;
+          for (int i = 0; i < n; i++) {
+            double x = buf[0] * 2.0;   /* load feeds fmul */
+            buf[1] = x + 1.0;          /* fadd feeds store */
+            acc = acc + x + buf[1];    /* x and buf[1] reused */
+          }
+          return acc;
+        }
+        """
+        self._run_all(source, "f", [7], "none")
+
+    def test_cmp_branch_fusion_with_reused_condition(self):
+        source = """
+        int f(int n) {
+          int taken = 0;
+          int last = 0;
+          for (int i = 0; i < n; i++) {
+            int c = i % 3 == 0;
+            if (c) taken++;
+            last = c;                  /* condition reused after branch */
+          }
+          return taken * 10 + last;
+        }
+        """
+        self._run_all(source, "f", [10], "none")
+
+    def test_unfused_mode_rejected_values(self):
+        import pytest
+
+        from repro.runtime.interpreter import Interpreter
+
+        program = compile_source("int f() { return 1; }", backend="none")
+        with pytest.raises(ValueError, match="unknown dispatch mode"):
+            Interpreter(program.module, dispatch="fused")
+
+
 class TestRuntimePrecisionFreshness:
     def test_shrinking_precision_loop_not_stale(self):
         """A dynamic-precision loop that lowers ``p`` mid-function: each

@@ -1,0 +1,167 @@
+"""Parallel sharded evaluation engine: determinism, equivalence, CLI."""
+
+import pytest
+
+from repro.evaluation import parallel
+from repro.evaluation.parallel import (
+    EvaluationTaskError,
+    GridPoint,
+    parallel_map,
+    run_grid,
+    shard_tasks,
+)
+
+
+class TestSharding:
+    def test_round_robin_assignment(self):
+        assert shard_tasks(7, 3) == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_deterministic(self):
+        assert shard_tasks(100, 8) == shard_tasks(100, 8)
+
+    def test_fewer_tasks_than_jobs(self):
+        assert shard_tasks(2, 16) == [[0], [1]]
+
+    def test_empty_and_invalid(self):
+        assert shard_tasks(0, 4) == []
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            shard_tasks(4, 0)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise RuntimeError("task three exploded")
+    return x
+
+
+class TestParallelMap:
+    def test_results_in_task_order(self):
+        tasks = [(i,) for i in range(9)]
+        assert parallel_map(_square, tasks, jobs=3,
+                            compile_cache=False) == \
+            [i * i for i in range(9)]
+
+    def test_jobs_one_runs_serial(self):
+        assert parallel_map(_square, [(2,), (3,)], jobs=1,
+                            compile_cache=False) == [4, 9]
+
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            parallel_map(_square, [(1,)], jobs=0)
+
+    def test_empty_tasks(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_task_exception_propagates_with_traceback(self):
+        tasks = [(i,) for i in range(6)]
+        with pytest.raises(EvaluationTaskError) as err:
+            parallel_map(_fail_on_three, tasks, jobs=2,
+                         compile_cache=False)
+        assert err.value.index == 3
+        assert "task three exploded" in str(err.value)
+
+    def test_task_exception_serial_too(self):
+        with pytest.raises(RuntimeError, match="task three exploded"):
+            parallel_map(_fail_on_three, [(3,)], jobs=1,
+                         compile_cache=False)
+
+    def test_broken_pool_degrades_to_serial(self, monkeypatch, capsys):
+        def broken(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(parallel, "_run_pool", broken)
+        result = parallel_map(_square, [(i,) for i in range(4)], jobs=2,
+                              compile_cache=False)
+        assert result == [0, 1, 4, 9]
+        assert "degraded to serial" in capsys.readouterr().err
+
+
+class TestGridEquivalence:
+    GRID = [GridPoint.make("gemm", ftype, 4, backend)
+            for ftype in ("double", "vpfloat<mpfr, 16, 128>")
+            for backend in ("none", "mpfr")]
+
+    @staticmethod
+    def _key(outcome):
+        from repro.bigfloat import BigFloat
+
+        outputs = tuple(
+            (v.kind, v.sign, v.mant, v.exp, v.prec)
+            if isinstance(v, BigFloat) else v
+            for v in outcome.outputs)
+        return (outcome.report.cycles, outcome.report.instructions,
+                tuple(sorted(outcome.report.by_category.items())), outputs)
+
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path):
+        serial = run_grid(self.GRID, jobs=1, compile_cache=False)
+        fanned = run_grid(self.GRID, jobs=2,
+                          cache_dir=str(tmp_path / "cache"))
+        assert [self._key(o) for o in fanned] == \
+            [self._key(o) for o in serial]
+
+    def test_cached_serial_matches_uncached(self, tmp_path):
+        cold = run_grid(self.GRID[:2], jobs=1,
+                        cache_dir=str(tmp_path / "cache"))
+        warm = run_grid(self.GRID[:2], jobs=1,
+                        cache_dir=str(tmp_path / "cache"))
+        bare = run_grid(self.GRID[:2], jobs=1, compile_cache=False)
+        keys = [self._key(o) for o in bare]
+        assert [self._key(o) for o in cold] == keys
+        assert [self._key(o) for o in warm] == keys
+
+
+class TestEvaluationCLI:
+    def test_jobs_validation(self, capsys):
+        from repro.evaluation.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table1", "--jobs", "0"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_cache_dir_must_be_directory(self, tmp_path, capsys):
+        from repro.evaluation.__main__ import main
+
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        with pytest.raises(SystemExit):
+            main(["table1", "--cache-dir", str(not_a_dir)])
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_compiler_cli_cache_dir_validation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        source = tmp_path / "k.c"
+        source.write_text("int f() { return 1; }")
+        with pytest.raises(SystemExit):
+            main([str(source), "--cache-dir", str(not_a_dir)])
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_compiler_cli_uses_cache_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "k.c"
+        source.write_text("int f(int n) { return n + 1; }")
+        cache_dir = tmp_path / "cache"
+        for _ in range(2):
+            assert main([str(source), "--backend", "none",
+                         "--cache-dir", str(cache_dir),
+                         "--run", "f", "--args", "41"]) == 0
+            assert "f(...) = 42" in capsys.readouterr().out
+        assert list(cache_dir.glob("*.vpc"))
+
+    def test_compiler_cli_no_compile_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "k.c"
+        source.write_text("int f() { return 7; }")
+        cache_dir = tmp_path / "cache"
+        assert main([str(source), "--backend", "none",
+                     "--cache-dir", str(cache_dir),
+                     "--no-compile-cache"]) == 0
+        assert not cache_dir.exists()

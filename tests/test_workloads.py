@@ -91,6 +91,41 @@ class TestHarness:
         with pytest.raises(ValueError):
             parse_ftype("quad")
 
+    def test_parse_ftype_four_arg_mpfr(self):
+        assert parse_ftype("vpfloat<mpfr, 16, 256, 64>") == \
+            ("mpfr", {"exp": 16, "prec": 256, "size": 64})
+        assert parse_ftype("  vpfloat< mpfr , 16 , 128 , 32 >  ") == \
+            ("mpfr", {"exp": 16, "prec": 128, "size": 32})
+        # Declared byte size must hold the significand.
+        with pytest.raises(ValueError, match="16 bytes cannot hold"):
+            parse_ftype("vpfloat<mpfr, 16, 256, 16>")
+
+    def test_parse_ftype_error_names_offender(self):
+        for bad in ("quad", "vpfloat<mpfr, 16>", "vpfloat<posit, 2, 32>",
+                    "vpfloat<mpfr, 16, 256> trailing"):
+            with pytest.raises(ValueError) as err:
+                parse_ftype(bad)
+            assert repr(bad) in str(err.value)
+            assert "vpfloat<mpfr, EXP, PREC[, SIZE]>" in str(err.value)
+
+    def test_canonical_source_ftype(self):
+        from repro.evaluation.harness import canonical_source_ftype
+
+        assert canonical_source_ftype("vpfloat<mpfr, 16, 256, 64>") == \
+            "vpfloat<mpfr, 16, 256>"
+        assert canonical_source_ftype("vpfloat<mpfr, 16, 256>") == \
+            "vpfloat<mpfr, 16, 256>"
+        assert canonical_source_ftype("double") == "double"
+
+    def test_run_kernel_accepts_four_arg_mpfr(self):
+        four = run_kernel("trisolv", "vpfloat<mpfr, 16, 128, 32>", 4,
+                          backend="mpfr")
+        three = run_kernel("trisolv", "vpfloat<mpfr, 16, 128>", 4,
+                           backend="mpfr")
+        assert four.report.cycles == three.report.cycles
+        assert [float(a) == float(b)
+                for a, b in zip(four.outputs, three.outputs)]
+
     def test_element_strides(self):
         assert element_stride("double", "none") == 8
         assert element_stride("float", "none") == 4
