@@ -19,6 +19,7 @@ import sys
 from typing import List
 
 from .core import BACKENDS, CompileCache, CompilerDriver, default_cache_dir
+from .observability import telemetry_session
 
 
 def _parse_run_args(raw: List[str]) -> List[object]:
@@ -88,7 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="always compile from scratch")
     parser.add_argument("--threads", type=int, default=1,
                         help="model OpenMP regions at this thread count")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the "
+                             "compile + run (view in Perfetto)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the metrics registry (compiler, "
+                             "runtime, cache, pool, precision "
+                             "telemetry) as JSON")
     return parser
+
+
+def _print_cache_stats(cache) -> None:
+    if cache is None:
+        return
+    stats = cache.stats
+    total = stats.hits + stats.misses
+    if not total and not stats.stores:
+        return
+    print(f"compile cache:     {stats.hits}/{total} hits "
+          f"({100.0 * stats.hit_rate():.1f}%): "
+          f"{stats.memory_hits} memory, {stats.disk_hits} disk; "
+          f"{stats.stores} stored, {stats.errors} errors")
 
 
 def _print_profile(result, program) -> None:
@@ -123,6 +144,24 @@ def main(argv=None) -> int:
         if os.path.exists(expanded) and not os.path.isdir(expanded):
             parser.error(f"--cache-dir {args.cache_dir!r} exists and is "
                          f"not a directory")
+    if args.trace is None and args.metrics_out is None:
+        return _run(args)
+    with telemetry_session(trace=args.trace is not None,
+                           metrics=args.metrics_out is not None) \
+            as (tracer, registry):
+        try:
+            return _run(args)
+        finally:
+            if tracer is not None:
+                tracer.export(args.trace)
+                print(f"trace written to {args.trace}", file=sys.stderr)
+            if registry is not None:
+                registry.save(args.metrics_out)
+                print(f"metrics written to {args.metrics_out}",
+                      file=sys.stderr)
+
+
+def _run(args) -> int:
     if args.source == "-":
         source = sys.stdin.read()
     else:
@@ -183,6 +222,7 @@ def main(argv=None) -> int:
                 print(f"t({args.threads} threads):      {time:.0f}")
         if args.profile:
             _print_profile(result, program)
+            _print_cache_stats(driver.cache)
     return 0
 
 

@@ -23,6 +23,17 @@ from ..backends import BoostLoweringPass, MPFRLoweringPass
 from ..codegen import generate_ir
 from ..ir import Module, verify_module
 from ..lang import analyze, parse
+from ..observability import (
+    CAT_CACHE,
+    CAT_COMPILE,
+    CAT_RUNTIME,
+    absorb_mpfr_stats,
+    absorb_pass_timings,
+    absorb_profile,
+    absorb_report,
+    current_metrics,
+    current_tracer,
+)
 from ..passes import build_o3_pipeline
 from ..passes.polly import optimize_unit
 from ..runtime import CostAccounting, ExecutionResult, Interpreter
@@ -96,26 +107,48 @@ class CompiledProgram:
         defaults per backend: on except for Boost)."""
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
+        tracer = current_tracer()
+        span = tracer.span(f"execute:{name}", cat=CAT_RUNTIME,
+                           args={"backend": self.options.backend}) \
+            if tracer is not None else None
         if self.options.backend == "unum":
             from ..runtime.unum_machine import UnumMachine
 
             machine = UnumMachine(self.asm, accounting=accounting,
                                   coprocessor=coprocessor,
                                   max_steps=max_steps)
-            value = machine.run(name, args)
+            try:
+                value = machine.run(name, args)
+            finally:
+                if span is not None:
+                    tracer.finish(span)
             report = accounting.report
             report.cycles += machine.scalar_cycles + \
                 machine.coprocessor.cycles
             report.serial_cycles = report.cycles - report.parallel_cycles
             result = ExecutionResult(value, report, machine.stdout)
             result.machine = machine
+            registry = current_metrics()
+            if registry is not None:
+                absorb_report(registry, report)
             return result
         interpreter = Interpreter(self.module, accounting=accounting,
                                   max_steps=max_steps, dispatch=dispatch,
                                   profile=profile,
                                   mpfr_pool=self._pool_default(pool))
-        result = interpreter.run(name, args)
+        try:
+            result = interpreter.run(name, args)
+        finally:
+            if span is not None:
+                span.args["cycles"] = accounting.report.cycles
+                tracer.finish(span)
         result.interpreter = interpreter
+        registry = current_metrics()
+        if registry is not None:
+            absorb_report(registry, result.report)
+            absorb_mpfr_stats(registry, interpreter.mpfr.stats)
+            if result.profile is not None:
+                absorb_profile(registry, result.profile)
         return result
 
     def interpreter(self, cache: bool = True,
@@ -162,18 +195,47 @@ class CompilerDriver:
         self.cache = as_compile_cache(cache)
 
     def compile(self, source: str, name: str = "module") -> CompiledProgram:
+        tracer = current_tracer()
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("compile.count")
         cache = self.cache
         if cache is None:
-            return self._compile(source, name)
+            if tracer is None:
+                return self._compile(source, name)
+            with tracer.span(f"compile:{name}", cat=CAT_COMPILE,
+                             args={"backend": self.options.backend,
+                                   "cached": False}):
+                return self._compile(source, name)
         key = cache.fingerprint(source, self.options, name)
-        program = cache.get(key)
-        if program is None:
-            program = self._compile(source, name)
-            cache.put(key, program)
+        if tracer is None:
+            program = cache.get(key)
+            if program is None:
+                program = self._compile(source, name)
+                cache.put(key, program)
+            else:
+                if registry is not None:
+                    registry.inc("compile.cache_hits")
+            return program
+        with tracer.span(f"compile:{name}", cat=CAT_COMPILE,
+                         args={"backend": self.options.backend}) as span:
+            with tracer.span("cache.lookup", cat=CAT_CACHE) as lookup:
+                program = cache.get(key)
+                lookup.args["hit"] = program is not None
+            span.args["cached"] = program is not None
+            if program is None:
+                program = self._compile(source, name)
+                cache.put(key, program)
+            else:
+                if registry is not None:
+                    registry.inc("compile.cache_hits")
         return program
 
     def _compile(self, source: str, name: str = "module") -> CompiledProgram:
         options = self.options
+        tracer = current_tracer()
+        front_span = tracer.span("frontend", cat=CAT_COMPILE) \
+            if tracer is not None else None
         unit = analyze(parse(source))
         tiled = 0
         if options.polly:
@@ -181,6 +243,8 @@ class CompilerDriver:
             if tiled:
                 unit = analyze(unit)  # re-resolve the new declarations
         module = generate_ir(unit, name, verify=options.verify)
+        if front_span is not None:
+            tracer.finish(front_span)
         timings: dict = {}
         if options.opt_level >= 2:
             pipeline = build_o3_pipeline(
@@ -189,11 +253,19 @@ class CompilerDriver:
                 enable_unroll=options.enable_unroll,
                 contract_fma=options.contract_fma,
             )
-            stats = pipeline.run(module)
+            if tracer is not None:
+                with tracer.span("o3-pipeline", cat=CAT_COMPILE):
+                    stats = pipeline.run(module)
+            else:
+                stats = pipeline.run(module)
             timings.update(stats.timings)
             if options.verify:
                 verify_module(module)
         asm = None
+        lowering_span = None
+        if tracer is not None and options.backend != "none":
+            lowering_span = tracer.span(f"lowering:{options.backend}",
+                                        cat=CAT_COMPILE)
         lowering_started = time.perf_counter()
         if options.backend == "mpfr":
             MPFRLoweringPass(
@@ -214,6 +286,12 @@ class CompilerDriver:
 
             asm = compile_to_unum(module)
             timings["unum-codegen"] = time.perf_counter() - lowering_started
+        if lowering_span is not None:
+            tracer.finish(lowering_span)
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("compile.fresh")
+            absorb_pass_timings(registry, timings)
         return CompiledProgram(module, options, asm=asm, tiled_nests=tiled,
                                pass_timings=timings)
 

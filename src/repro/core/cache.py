@@ -38,6 +38,8 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Optional
 
+from ..observability import current_metrics
+
 #: Bump when the pickle layout of CompiledProgram/Module changes in a
 #: way that should invalidate existing caches.
 FORMAT_VERSION = 1
@@ -118,22 +120,32 @@ class CompileCache:
 
     def get(self, key: str):
         """The cached program for ``key``, or None."""
+        registry = current_metrics()
         memory = self._memory
         program = memory.get(key)
         if program is not None:
             memory.move_to_end(key)
             self.stats.memory_hits += 1
+            if registry is not None:
+                registry.inc("compile.cache.memory_hits")
             return program
         program = self._disk_get(key)
         if program is not None:
             self.stats.disk_hits += 1
             self._memory_put(key, program)
+            if registry is not None:
+                registry.inc("compile.cache.disk_hits")
             return program
         self.stats.misses += 1
+        if registry is not None:
+            registry.inc("compile.cache.misses")
         return None
 
     def put(self, key: str, program) -> None:
         self.stats.stores += 1
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("compile.cache.stores")
         self._memory_put(key, program)
         self._disk_put(key, program)
 
@@ -181,14 +193,14 @@ class CompileCache:
         except Exception:
             # Torn write from a pre-atomic era, a different pickle
             # protocol, or plain corruption: treat as a miss.
-            self.stats.errors += 1
+            self._count_error()
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         if version != FORMAT_VERSION:
-            self.stats.errors += 1
+            self._count_error()
             try:
                 path.unlink()
             except OSError:
@@ -218,7 +230,13 @@ class CompileCache:
         except OSError:
             # Read-only/filled disk: persisting is best-effort; the
             # memory tier still serves this process.
-            self.stats.errors += 1
+            self._count_error()
+
+    def _count_error(self) -> None:
+        self.stats.errors += 1
+        registry = current_metrics()
+        if registry is not None:
+            registry.inc("compile.cache.errors")
 
 
 def as_compile_cache(cache) -> Optional[CompileCache]:

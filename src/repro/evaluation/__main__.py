@@ -13,12 +13,27 @@ import argparse
 import os
 import sys
 
+from ..observability import telemetry_session
 from . import fig1, fig2, fig3, table1, table2, table3
 
+#: ``--quick`` shrinks table1 to a CI-sized grid that still exercises
+#: the parallel engine, both vpfloat rows, and the compile cache.
+QUICK_TABLE1_KERNELS = ("gemm", "covariance")
+QUICK_TABLE1_DATASETS = ("mini",)
+
+
+def _table1_main(args):
+    if args.quick:
+        return table1.main(jobs=args.jobs, cache_dir=args.cache_dir,
+                           compile_cache=args.compile_cache,
+                           kernels=QUICK_TABLE1_KERNELS,
+                           datasets=QUICK_TABLE1_DATASETS)
+    return table1.main(jobs=args.jobs, cache_dir=args.cache_dir,
+                       compile_cache=args.compile_cache)
+
+
 EXPERIMENTS = {
-    "table1": lambda args: table1.main(jobs=args.jobs,
-                                       cache_dir=args.cache_dir,
-                                       compile_cache=args.compile_cache),
+    "table1": _table1_main,
     "table2": lambda args: table2.main(),
     "table3": lambda args: table3.main(),
     "fig1": lambda args: fig1.main(dataset=args.dataset,
@@ -69,14 +84,46 @@ def main(argv=None) -> int:
     parser.add_argument("--no-compile-cache", dest="compile_cache",
                         action="store_false",
                         help="recompile every sweep point from scratch")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the "
+                             "run (view in Perfetto)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the merged metrics registry "
+                             "(compiler, runtime, cache, pool, "
+                             "precision telemetry) as JSON")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized grids (table1: gemm+covariance "
+                             "on the mini dataset)")
     args = parser.parse_args(argv)
     validate_engine_args(parser, args.jobs, args.cache_dir)
-    if args.experiment == "all":
-        for name in ("table1", "table2", "table3", "fig1", "fig2", "fig3"):
-            print(f"\n=== {name} ===\n")
-            EXPERIMENTS[name](args)
-    else:
-        EXPERIMENTS[args.experiment](args)
+
+    def dispatch():
+        if args.experiment == "all":
+            for name in ("table1", "table2", "table3", "fig1", "fig2",
+                         "fig3"):
+                print(f"\n=== {name} ===\n")
+                EXPERIMENTS[name](args)
+        else:
+            EXPERIMENTS[args.experiment](args)
+
+    if args.trace is None and args.metrics_out is None:
+        dispatch()
+        return 0
+    with telemetry_session(trace=args.trace is not None,
+                           metrics=args.metrics_out is not None) \
+            as (tracer, registry):
+        try:
+            dispatch()
+        finally:
+            # Export even on failure: a partial trace of a crashed
+            # sweep is exactly what one wants to look at.
+            if tracer is not None:
+                tracer.export(args.trace)
+                print(f"trace written to {args.trace}", file=sys.stderr)
+            if registry is not None:
+                registry.save(args.metrics_out)
+                print(f"metrics written to {args.metrics_out}",
+                      file=sys.stderr)
     return 0
 
 

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ..bigfloat import BigFloat
 from ..core import CompilerDriver
+from ..observability import current_metrics
 from ..runtime import CostReport
 from ..unum import UnumConfig, UnumCoprocessor, decode as unum_decode
 from ..workloads.polybench import KERNELS, source_for
@@ -148,6 +149,10 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
     :func:`set_compile_cache` applies."""
     spec = KERNELS[kernel]
     source = source_for(kernel, canonical_source_ftype(ftype))
+    registry = current_metrics()
+    if registry is not None:
+        registry.inc("eval.points")
+        registry.inc(f"eval.backend.{backend}")
     if compile_cache is _UNSET:
         compile_cache = _COMPILE_CACHE
     driver = CompilerDriver(backend=backend, polly=polly,
@@ -166,6 +171,10 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
         report = machine.accounting.report
         report.cycles += machine.scalar_cycles + machine.coprocessor.cycles
         report.serial_cycles = report.cycles - report.parallel_cycles
+        if registry is not None:
+            from ..observability import absorb_report
+
+            absorb_report(registry, report)
         outputs: List[Number] = []
         if read_outputs:
             outputs = _read_unum_outputs(machine, int(value),

@@ -39,6 +39,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..core.cache import CompileCache, default_cache_dir
+from ..observability import (
+    CAT_WORKER,
+    MetricsRegistry,
+    Tracer,
+    current_metrics,
+    current_tracer,
+    install_telemetry,
+)
 from .harness import RunOutcome, run_kernel, set_compile_cache
 
 
@@ -74,17 +82,66 @@ def _worker_init(cache_dir: Optional[str], use_cache: bool) -> None:
     set_compile_cache(CompileCache(cache_dir) if use_cache else None)
 
 
-def _run_shard(fn: Callable, shard: List[Tuple[int, tuple]]):
+def _run_shard(fn: Callable, shard: List[Tuple[int, tuple]],
+               telemetry: Tuple[bool, bool] = (False, False)):
     """Execute one shard's tasks in order; never raises (returns
-    per-task (index, ok, payload) triples so one failed point does not
-    discard its siblings' finished work)."""
-    results = []
-    for index, args in shard:
-        try:
-            results.append((index, True, fn(*args)))
-        except Exception:
-            results.append((index, False, traceback.format_exc()))
-    return results
+    (triples, telemetry_payload) where the triples are per-task
+    (index, ok, payload) so one failed point does not discard its
+    siblings' finished work).
+
+    ``telemetry`` mirrors the parent's installed (tracer, metrics)
+    facets.  The worker installs *fresh* objects for the shard -- under
+    the fork start method the parent's globals are inherited, and
+    recording into them would both hide the data from the parent and
+    double-count once the shard's payload is merged back -- and ships
+    the results home as picklable plain data.
+    """
+    want_trace, want_metrics = telemetry
+    if not (want_trace or want_metrics):
+        results = []
+        for index, args in shard:
+            try:
+                results.append((index, True, fn(*args)))
+            except Exception:
+                results.append((index, False, traceback.format_exc()))
+        return results, None
+    tracer = Tracer() if want_trace else None
+    registry = MetricsRegistry() if want_metrics else None
+    previous = install_telemetry(tracer, registry)
+    try:
+        span = tracer.span("worker.shard", cat=CAT_WORKER,
+                           args={"tasks": len(shard)}) \
+            if tracer is not None else None
+        results = []
+        for index, args in shard:
+            try:
+                results.append((index, True, fn(*args)))
+            except Exception:
+                results.append((index, False, traceback.format_exc()))
+        if span is not None:
+            span.args["failures"] = sum(1 for _, ok, _ in results
+                                        if not ok)
+            tracer.finish(span)
+    finally:
+        install_telemetry(*previous)
+    payload = {
+        "events": list(tracer.events) if tracer is not None else None,
+        "metrics": registry.to_dict() if registry is not None else None,
+    }
+    return results, payload
+
+
+def _merge_shard_telemetry(payload) -> None:
+    """Fold one shard's telemetry payload into the parent's installed
+    tracer/registry (no-ops for facets either side disabled)."""
+    if not payload:
+        return
+    tracer = current_tracer()
+    if tracer is not None and payload.get("events"):
+        tracer.extend(payload["events"])
+    registry = current_metrics()
+    if registry is not None and payload.get("metrics"):
+        registry.merge(MetricsRegistry.from_dict(payload["metrics"]))
 
 
 # ----------------------------------------------------------------- #
@@ -114,17 +171,21 @@ def _run_pool(fn: Callable, tasks: Sequence[tuple], jobs: int,
     shards = shard_tasks(len(tasks), jobs)
     slots: List[Any] = [None] * len(tasks)
     failures: List[Tuple[int, str]] = []
+    telemetry = (current_tracer() is not None,
+                 current_metrics() is not None)
     with ProcessPoolExecutor(
             max_workers=len(shards), mp_context=_pool_context(),
             initializer=_worker_init,
             initargs=(cache_dir, use_cache)) as pool:
         futures = [
             pool.submit(_run_shard, fn,
-                        [(i, tasks[i]) for i in shard])
+                        [(i, tasks[i]) for i in shard], telemetry)
             for shard in shards
         ]
         for future in futures:
-            for index, ok, payload in future.result():
+            results, shard_telemetry = future.result()
+            _merge_shard_telemetry(shard_telemetry)
+            for index, ok, payload in results:
                 if ok:
                     slots[index] = payload
                 else:

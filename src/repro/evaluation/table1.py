@@ -107,8 +107,11 @@ def format_table1(cells: List[Table1Cell]) -> str:
     return "\n".join(lines)
 
 
-def main(jobs: int = 1, cache_dir=None, compile_cache: bool = True) -> str:
-    text = format_table1(run_table1(jobs=jobs, cache_dir=cache_dir,
+def main(jobs: int = 1, cache_dir=None, compile_cache: bool = True,
+         kernels: Sequence[str] = TABLE1_KERNELS,
+         datasets: Sequence[str] = DATASET_ORDER) -> str:
+    text = format_table1(run_table1(kernels=kernels, datasets=datasets,
+                                    jobs=jobs, cache_dir=cache_dir,
                                     compile_cache=compile_cache))
     print(text)
     return text

@@ -1,0 +1,232 @@
+"""``vpfloat-stats``: render and validate saved telemetry artifacts.
+
+Pretty-print a metrics file produced by ``--metrics-out``::
+
+    vpfloat-stats m.json
+
+Summarize a Chrome trace produced by ``--trace``::
+
+    vpfloat-stats t.json           # file kind is auto-detected
+
+Validate artifact schemas (CI uses this; exits non-zero on failure)::
+
+    vpfloat-stats --validate t.json m.json
+
+(equivalently ``python -m repro.observability.stats ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from .metrics import MetricsRegistry
+
+#: Chrome trace phases this stack emits (span, instant, counter, meta).
+_TRACE_PHASES = {"X", "i", "C", "M"}
+
+
+class ValidationError(ValueError):
+    """A telemetry artifact failed schema validation."""
+
+
+# ----------------------------------------------------------------- #
+# Schema validation
+# ----------------------------------------------------------------- #
+
+def validate_metrics_document(data) -> None:
+    """Raise :class:`ValidationError` unless ``data`` is a well-formed
+    metrics document (the ``--metrics-out`` schema)."""
+    if not isinstance(data, dict):
+        raise ValidationError("metrics document must be a JSON object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in data:
+            raise ValidationError(f"metrics document missing {section!r}")
+        if not isinstance(data[section], dict):
+            raise ValidationError(f"metrics section {section!r} must be "
+                                  f"an object")
+    for name, value in data["counters"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(f"counter {name!r} is not numeric")
+    for name, value in data["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(f"gauge {name!r} is not numeric")
+    for name, hist in data["histograms"].items():
+        if not isinstance(hist, dict):
+            raise ValidationError(f"histogram {name!r} must be an object")
+        for bucket, count in hist.items():
+            try:
+                float(bucket)
+            except ValueError:
+                raise ValidationError(
+                    f"histogram {name!r} bucket {bucket!r} is not numeric"
+                ) from None
+            if not isinstance(count, int) or count < 0:
+                raise ValidationError(
+                    f"histogram {name!r} count for {bucket!r} must be a "
+                    f"non-negative integer")
+
+
+def validate_trace_document(data) -> None:
+    """Raise :class:`ValidationError` unless ``data`` is a well-formed
+    Chrome trace-event document with sanely nested spans."""
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValidationError("trace document must be an object with a "
+                              "'traceEvents' list")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValidationError("'traceEvents' must be a list")
+    spans = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValidationError(f"event #{i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValidationError(f"event #{i} missing {key!r}")
+        ph = event["ph"]
+        if ph not in _TRACE_PHASES:
+            raise ValidationError(f"event #{i} has unknown phase {ph!r}")
+        if ph != "M" and "ts" not in event:
+            raise ValidationError(f"event #{i} ({ph}) missing 'ts'")
+        if ph == "X":
+            if "dur" not in event or event["dur"] < 0:
+                raise ValidationError(
+                    f"span #{i} ({event['name']!r}) missing or negative "
+                    f"'dur'")
+            if event["ts"] < 0:
+                raise ValidationError(
+                    f"span #{i} ({event['name']!r}) has negative 'ts'")
+            spans.append(event)
+    _validate_nesting(spans)
+
+
+def _validate_nesting(spans: List[dict]) -> None:
+    """Complete events on one (pid, tid) track must nest or be disjoint;
+    partial overlap means broken begin/end pairing."""
+    tracks = {}
+    for span in spans:
+        tracks.setdefault((span["pid"], span["tid"]), []).append(span)
+    for (pid, tid), track in tracks.items():
+        # Sort by start time, longest-first on ties (parents first).
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[dict] = []
+        for span in track:
+            while stack and span["ts"] >= stack[-1]["ts"] + stack[-1]["dur"]:
+                stack.pop()
+            if stack:
+                parent = stack[-1]
+                # Tolerate sub-microsecond clock jitter at the edges.
+                if span["ts"] + span["dur"] > \
+                        parent["ts"] + parent["dur"] + 1.0:
+                    raise ValidationError(
+                        f"span {span['name']!r} overlaps parent "
+                        f"{parent['name']!r} without nesting "
+                        f"(pid={pid}, tid={tid})")
+            stack.append(span)
+
+
+# ----------------------------------------------------------------- #
+# Rendering
+# ----------------------------------------------------------------- #
+
+def render_trace_summary(data: dict) -> str:
+    """A text digest of a trace: span counts and total time per
+    (category, name), hottest first."""
+    events = data.get("traceEvents", [])
+    totals = {}
+    counts = {}
+    pids = set()
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        pids.add(event["pid"])
+        key = (event.get("cat", "?"), event["name"])
+        totals[key] = totals.get(key, 0.0) + event["dur"]
+        counts[key] = counts.get(key, 0) + 1
+    lines = [f"trace: {len(events)} events, "
+             f"{sum(counts.values())} spans, {len(pids)} process(es)"]
+    header = f"  {'category':<10} {'span':<36} {'count':>7} {'total ms':>10}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for key in sorted(totals, key=lambda k: -totals[k]):
+        cat, name = key
+        lines.append(f"  {cat:<10} {name:<36} {counts[key]:>7} "
+                     f"{totals[key] / 1e3:>10.3f}")
+    return "\n".join(lines)
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _kind(data) -> str:
+    if isinstance(data, dict) and "traceEvents" in data:
+        return "trace"
+    if isinstance(data, dict) and "counters" in data:
+        return "metrics"
+    raise ValidationError("unrecognized telemetry artifact (expected a "
+                          "metrics or Chrome trace JSON document)")
+
+
+# ----------------------------------------------------------------- #
+# CLI
+# ----------------------------------------------------------------- #
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vpfloat-stats",
+        description="Render or validate saved vpfloat telemetry "
+                    "artifacts (--metrics-out / --trace files).",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="metrics or trace JSON file(s)")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate schemas only (exit 1 on failure)")
+    parser.add_argument("--json", action="store_true",
+                        help="echo the parsed document instead of the "
+                             "text report")
+    return parser
+
+
+def main(argv=None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into head/less that exited early: not an error.
+        return 0
+
+
+def _main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    status = 0
+    for path in args.files:
+        try:
+            data = _load(path)
+            kind = _kind(data)
+            if kind == "trace":
+                validate_trace_document(data)
+            else:
+                validate_metrics_document(data)
+        except (OSError, json.JSONDecodeError, ValidationError) as error:
+            print(f"{path}: INVALID: {error}", file=sys.stderr)
+            status = 1
+            continue
+        if args.validate:
+            print(f"{path}: OK ({kind})")
+            continue
+        if len(args.files) > 1:
+            print(f"== {path} ==")
+        if args.json:
+            print(json.dumps(data, indent=2, sort_keys=True))
+        elif kind == "trace":
+            print(render_trace_summary(data))
+        else:
+            print(MetricsRegistry.from_dict(data).render())
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -558,6 +558,24 @@ class FunctionCompiler:
                 charge("vpfloat_native", unit * max(1, prec // 64))
                 return kernel(a, b, prec, RNDN)
 
+        registry = interp.metrics
+        if registry is None:
+            return value
+        # Precision telemetry wrap, built only when a registry is
+        # installed: the untraced closure above stays branch-free.
+        observe = registry.observe
+        inc = registry.inc
+        bits_key = f"precision.op.{inst.opcode}.bits"
+        rounding_key = "precision.rounding." + RNDN.value
+        guard_bits = 8 if vptype.format == "posit" else 0
+        plain_value = value
+
+        def value(frame):
+            observe(bits_key, resolve(frame)[0])
+            observe("precision.guard_bits", guard_bits)
+            inc(rounding_key)
+            return plain_value(frame)
+
         return value
 
     def _clamp_closure(self, vptype: VPFloatType) -> Callable:

@@ -68,6 +68,12 @@ from ..ir import (
     VPFloatType,
 )
 from ..ir.types import _validate_mpfr_attrs
+from ..observability import (
+    CAT_POOL,
+    CAT_RUNTIME,
+    current_metrics,
+    current_tracer,
+)
 from ..unum import UnumConfig, UnumConfigError
 from ..unum.posit import PositConfig, PositConfigError, posit_round
 from .cost_model import CostAccounting
@@ -171,6 +177,11 @@ class Interpreter:
         self.dispatch = dispatch
         self.profile: Optional[InterpreterProfile] = \
             InterpreterProfile() if profile else None
+        #: Process-global telemetry, captured at construction so every
+        #: hot-path hook is a bound local (or absent entirely).  Both
+        #: are None unless repro.observability.enable_telemetry ran.
+        self.tracer = current_tracer()
+        self.metrics = current_metrics()
         self.stdout: List[str] = []
         self.globals: Dict[str, int] = {}
         self._builtins: Dict[str, Callable] = {}
@@ -360,8 +371,14 @@ class Interpreter:
                 f"{func.name}() takes {len(func.args)} argument(s), "
                 f"got {len(args)}"
             )
+        if self.tracer is not None:
+            return self._call_function_traced(func, args)
         if self.dispatch != "legacy":
             return self._call_compiled(func, args)
+        return self._call_legacy(func, args, None)
+
+    def _call_legacy(self, func: Function, args: List[object],
+                     block_counts: Optional[Dict[str, int]]) -> object:
         costs = self.accounting.costs
         self.accounting.charge("call", costs.call_overhead)
         mark = self.memory.stack_mark()
@@ -371,6 +388,9 @@ class Interpreter:
         block = func.entry
         prev_block = None
         while True:
+            if block_counts is not None:
+                block_counts[block.name] = \
+                    block_counts.get(block.name, 0) + 1
             # Phi nodes first (values computed from the edge taken).
             phis = block.phis()
             if phis:
@@ -385,6 +405,32 @@ class Interpreter:
                 return outcome[1]
             prev_block, block = block, outcome[1]
 
+    def _call_function_traced(self, func: Function,
+                              args: List[object]) -> object:
+        """Span-wrapped function call with hot-block attribution.
+
+        Only reached when a tracer is installed; charges exactly what
+        the untraced paths charge (spans record wall-clock, never
+        modeled cycles), so reports stay bit-identical."""
+        tracer = self.tracer
+        report = self.accounting.report
+        cycles0 = report.cycles
+        instructions0 = report.instructions
+        counts: Dict[str, int] = {}
+        with tracer.span(f"call:{func.name}", cat=CAT_RUNTIME) as span:
+            if self.dispatch != "legacy":
+                value = self._call_compiled_counting(func, args, counts)
+            else:
+                value = self._call_legacy(func, args, counts)
+            span.args["cycles"] = report.cycles - cycles0
+            span.args["instructions"] = report.instructions - instructions0
+            if counts:
+                hot = sorted(counts.items(), key=lambda kv: -kv[1])[:5]
+                span.args["hot_blocks"] = [
+                    {"block": name, "executions": n} for name, n in hot
+                ]
+        return value
+
     def _call_compiled(self, func: Function, args: List[object]) -> object:
         """Fast-path execution over precompiled closure tables.
 
@@ -395,11 +441,7 @@ class Interpreter:
         """
         compiled = self._compiled_functions.get(id(func))
         if compiled is None:
-            if self._compiler is None:
-                self._compiler = FunctionCompiler(
-                    self, fuse=(self.dispatch == "fast"))
-            compiled = self._compiler.compile(func)
-            self._compiled_functions[id(func)] = compiled
+            compiled = self._compile_function(func)
         costs = self.accounting.costs
         self.accounting.charge("call", costs.call_overhead)
         mark = self.memory.stack_mark()
@@ -419,6 +461,61 @@ class Interpreter:
                 staged = [(key, getter(frame)) for key, getter in moves]
                 for key, value in staged:
                     values[key] = value
+            count = block.count
+            self.steps += count
+            if self.steps > max_steps:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_steps} interpreted instructions"
+                )
+            report.instructions += count
+            if profile is not None:
+                profile.count_block(block.tally)
+            for step in block.steps:
+                step(frame)
+            outcome = block.terminator(frame)
+            if outcome.__class__ is tuple:
+                self.memory.stack_release(mark)
+                self.accounting.charge("ret", costs.ret)
+                return outcome[1]
+            prev = block.bid
+            block = outcome
+
+    def _compile_function(self, func: Function) -> CompiledFunction:
+        if self._compiler is None:
+            self._compiler = FunctionCompiler(
+                self, fuse=(self.dispatch == "fast"))
+        compiled = self._compiler.compile(func)
+        self._compiled_functions[id(func)] = compiled
+        return compiled
+
+    def _call_compiled_counting(self, func: Function, args: List[object],
+                                block_counts: Dict[str, int]) -> object:
+        """Tracing twin of :meth:`_call_compiled`: identical charging
+        and semantics, plus per-block execution counts for hot-block
+        span attribution.  Kept separate so the untraced fast path
+        carries no per-block branch."""
+        compiled = self._compiled_functions.get(id(func))
+        if compiled is None:
+            compiled = self._compile_function(func)
+        costs = self.accounting.costs
+        self.accounting.charge("call", costs.call_overhead)
+        mark = self.memory.stack_mark()
+        frame = Frame(func, mark)
+        values = frame.values
+        for arg, value in zip(func.args, args):
+            values[id(arg)] = value
+        report = self.accounting.report
+        max_steps = self.max_steps
+        profile = self.profile
+        block = compiled.entry
+        prev = None
+        while True:
+            moves = block.phi_moves.get(prev)
+            if moves is not None:
+                staged = [(key, getter(frame)) for key, getter in moves]
+                for key, value in staged:
+                    values[key] = value
+            block_counts[block.name] = block_counts.get(block.name, 0) + 1
             count = block.count
             self.steps += count
             if self.steps > max_steps:
@@ -558,6 +655,11 @@ class Interpreter:
             if kernel is None:
                 raise VPRuntimeError(f"{op} unsupported on vpfloat")
             work = prec + 8 if inst.type.format == "posit" else prec
+            registry = self.metrics
+            if registry is not None:
+                registry.observe(f"precision.op.{op}.bits", prec)
+                registry.observe("precision.guard_bits", work - prec)
+                registry.inc("precision.rounding." + RNDN.value)
             a = self._as_bigfloat(a, work)
             b = self._as_bigfloat(b, work)
             words = max(1, prec // 64)
@@ -1019,16 +1121,34 @@ class Interpreter:
         by_cat = report.by_category
         mem_load = self.memory.load
         mpfr_op_cost = costs.mpfr_op_cost
+        # Telemetry is bound once at install time: handlers built with
+        # registry/tracer None carry no telemetry code on their path.
+        registry = self.metrics
+        tracer = self.tracer
 
-        def charge_mpfr(name, prec):
-            report.mpfr_calls += 1
-            key = (name, prec)
-            cycles = cost_cache.get(key)
-            if cycles is None:
-                cycles = mpfr_op_cost(name, prec)
-                cost_cache[key] = cycles
-            report.cycles += cycles
-            by_cat["mpfr"] += cycles
+        if registry is not None:
+            observe_bits = registry.observe
+
+            def charge_mpfr(name, prec):
+                report.mpfr_calls += 1
+                key = (name, prec)
+                cycles = cost_cache.get(key)
+                if cycles is None:
+                    cycles = mpfr_op_cost(name, prec)
+                    cost_cache[key] = cycles
+                report.cycles += cycles
+                by_cat["mpfr"] += cycles
+                observe_bits("precision.mpfr.bits", prec)
+        else:
+            def charge_mpfr(name, prec):
+                report.mpfr_calls += 1
+                key = (name, prec)
+                cycles = cost_cache.get(key)
+                if cycles is None:
+                    cycles = mpfr_op_cost(name, prec)
+                    cost_cache[key] = cycles
+                report.cycles += cycles
+                by_cat["mpfr"] += cycles
 
         pool_hit_cycles = costs.mpfr_call_overhead + costs.mpfr_pool_hit_extra
         pool_release_cycles = (costs.mpfr_call_overhead
@@ -1067,6 +1187,35 @@ class Interpreter:
             self.memory.free_heap(var.limb_addr)
             charge_mpfr("mpfr_clear", prec)
             return None
+
+        if tracer is not None:
+            # Per-call pool spans would swamp the trace (millions of
+            # events); instead emit a counter sample of the cumulative
+            # pool traffic every 256 acquire/release operations.
+            pool_stats = self.mpfr.stats
+            pool_ops = [0]
+            emit_counter = tracer.counter
+
+            def _pool_sample():
+                pool_ops[0] += 1
+                if not pool_ops[0] % 256:
+                    emit_counter("mpfr.pool", {
+                        "hits": pool_stats.pool_hits,
+                        "misses": pool_stats.pool_misses,
+                        "releases": pool_stats.pool_releases,
+                    })
+
+            _plain_init2, _plain_clear = init2, clear
+
+            def init2(args, inst, frame):
+                result = _plain_init2(args, inst, frame)
+                _pool_sample()
+                return result
+
+            def clear(args, inst, frame):
+                result = _plain_clear(args, inst, frame)
+                _pool_sample()
+                return result
 
         b["mpfr_init2"] = init2
         b["mpfr_clear"] = clear
@@ -1141,6 +1290,24 @@ class Interpreter:
         def binary(method_name):
             method = getattr(self.mpfr, method_name)
             call_name = f"mpfr_{method_name}"
+
+            if registry is not None:
+                def handler(args, inst, frame):
+                    dst = mem_load(int(args[0]), 8)
+                    a = mem_load(int(args[1]), 8)
+                    bb = mem_load(int(args[2]), 8)
+                    if dst is None or a is None or bb is None:
+                        raise _uninitialized(
+                            args[0] if dst is None else
+                            args[1] if a is None else args[2])
+                    method(dst, a, bb)
+                    touch_limbs(a, "r")
+                    touch_limbs(bb, "r")
+                    touch_limbs(dst, "w")
+                    charge_mpfr(call_name, dst.prec)
+                    return None
+
+                return handler
 
             def handler(args, inst, frame):
                 dst = mem_load(int(args[0]), 8)
