@@ -18,7 +18,8 @@ import os
 import sys
 from typing import List
 
-from .core import BACKENDS, CompileCache, CompilerDriver, default_cache_dir
+from .core import BACKENDS, CompileCache, CompilerDriver, ENGINES, \
+    default_cache_dir
 from .observability import telemetry_session
 
 
@@ -73,11 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print opcode/builtin/pool/pass-time profile "
                              "after --run")
-    parser.add_argument("--dispatch",
-                        choices=("fast", "unfused", "legacy"),
-                        default="fast",
-                        help="interpreter dispatch engine (default: fast; "
-                             "'unfused' disables superinstruction fusion)")
+    parser.add_argument("--engine", choices=ENGINES, default=None,
+                        help="execution engine (default: 'jit' for the "
+                             "mpfr backend, else 'fast'; 'jit' compiles "
+                             "IR functions to specialized Python source, "
+                             "'unfused' disables superinstruction "
+                             "fusion, 'legacy' is the reference tree "
+                             "walker)")
+    parser.add_argument("--dispatch", dest="engine",
+                        choices=("jit", "fast", "unfused", "legacy"),
+                        default=None, help=argparse.SUPPRESS)
     parser.add_argument("--no-pool", action="store_true",
                         help="disable the runtime MPFR object pool")
     parser.add_argument("--cache-dir", default=None,
@@ -177,6 +183,7 @@ def _run(args) -> int:
         reuse_objects=not args.no_reuse,
         specialize_scalars=not args.no_specialize,
         in_place_stores=not args.no_in_place,
+        engine=args.engine,
         cache=CompileCache(args.cache_dir or default_cache_dir())
         if args.compile_cache else None,
     )
@@ -202,7 +209,7 @@ def _run(args) -> int:
         run_args = _parse_run_args(args.args)
         try:
             result = program.run(args.run, run_args,
-                                 dispatch=args.dispatch,
+                                 engine=args.engine,
                                  profile=args.profile,
                                  pool=False if args.no_pool else None)
         except Exception as error:

@@ -1,0 +1,304 @@
+"""Precision-specialized integer-mantissa kernels for the jit engine.
+
+:mod:`repro.bigfloat.arith` implements every operation generically: the
+precision and rounding mode arrive as arguments, and rounding funnels
+through :func:`~repro.bigfloat.rounding.round_significand`, which
+re-dispatches on the rounding mode per call.  The jit engine knows both
+at *emission* time for constant-attribute vpfloat types, so this module
+compiles one Python function per ``(op, precision, rounding mode)``
+with the finite fast path fully inlined: mantissa alignment, the
+normalize/round/carry sequence from ``round_significand``, and the
+rounding-mode decision folded to the one or two comparisons that mode
+actually needs.
+
+Results are bit-identical to the library functions by construction --
+the finite path is a constant-folded transcription of the same
+algorithm, and every non-finite (or otherwise cold) case delegates to
+the library function itself.  ``tests/test_codegen_kernels.py``
+cross-checks the two over randomized inputs for every op, precision
+band, and rounding mode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from ..bigfloat import arith
+from ..bigfloat.number import BigFloat, Kind
+from ..bigfloat.rounding import RoundingMode
+
+#: Operations with a specialized implementation.
+KERNEL_OPS = ("add", "sub", "mul", "div", "fma", "fms", "sqrt")
+
+_CACHE: Dict[Tuple[str, int, str], Callable] = {}
+
+
+# ----------------------------------------------------------------- #
+# Rounding (inlined round_significand, mode folded)
+# ----------------------------------------------------------------- #
+
+def _sticky_small_cond(rm: RoundingMode):
+    """Increment condition for the ``nbits <= prec`` path when the
+    sticky bit is set (low=0, half=1 in _should_increment terms)."""
+    if rm is RoundingMode.TOWARD_POSITIVE:
+        return "_s == 0"
+    if rm is RoundingMode.TOWARD_NEGATIVE:
+        return "_s == 1"
+    # RNDZ never increments; both nearest modes see low(0) < half(1).
+    return None
+
+
+def _incr_cond(rm: RoundingMode, sticky: bool):
+    """Increment condition for the ``nbits > prec`` path.  ``_low``,
+    ``_half``, ``_q``, ``_s`` (and ``_st`` when ``sticky``) are in
+    scope; returns None when the mode never rounds up."""
+    if rm is RoundingMode.NEAREST_EVEN:
+        tie = "(_st or _q & 1)" if sticky else "_q & 1"
+        return f"_low > _half or (_low == _half and {tie})"
+    if rm is RoundingMode.NEAREST_AWAY:
+        # low == 0 can never reach half (half >= 1), so exactness is
+        # implied by the comparison.
+        return "_low >= _half"
+    if rm is RoundingMode.TOWARD_ZERO:
+        return None
+    sign = "0" if rm is RoundingMode.TOWARD_POSITIVE else "1"
+    inexact = "(_low != 0 or _st)" if sticky else "_low != 0"
+    return f"_s == {sign} and {inexact}"
+
+
+def _round_lines(prec: int, rm: RoundingMode, sticky: bool,
+                 indent: int) -> str:
+    """Source block: round ``(_s, _m, _e)`` (+ ``_st``) and return the
+    finished BigFloat.  Transcribes ``round_significand`` with ``prec``
+    and ``rm`` constant-folded."""
+    pad = " " * indent
+    lines = [
+        f"{pad}_nb = _m.bit_length()",
+        f"{pad}if _nb <= {prec}:",
+        f"{pad}    _q = _m << ({prec} - _nb)",
+        f"{pad}    _e -= {prec} - _nb",
+    ]
+    small = _sticky_small_cond(rm) if sticky else None
+    if small is not None:
+        lines += [
+            f"{pad}    if _st and {small}:",
+            f"{pad}        _q += 1",
+            f"{pad}        if _q >> {prec}:",
+            f"{pad}            _q >>= 1",
+            f"{pad}            _e += 1",
+        ]
+    lines += [
+        f"{pad}else:",
+        f"{pad}    _sh = _nb - {prec}",
+        f"{pad}    _low = _m & ((1 << _sh) - 1)",
+        f"{pad}    _q = _m >> _sh",
+        f"{pad}    _e += _sh",
+    ]
+    cond = _incr_cond(rm, sticky)
+    if cond is not None:
+        if "_half" in cond:
+            lines.append(f"{pad}    _half = 1 << (_sh - 1)")
+        lines += [
+            f"{pad}    if {cond}:",
+            f"{pad}        _q += 1",
+            f"{pad}        if _q >> {prec}:",
+            f"{pad}            _q >>= 1",
+            f"{pad}            _e += 1",
+        ]
+    lines.append(f"{pad}return _BF(_KF, _s, _q, _e, {prec})")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- #
+# Per-op sources
+# ----------------------------------------------------------------- #
+
+def _addsub_source(prec: int, rm: RoundingMode, flip: bool) -> str:
+    mb = ("-b.mant if b.sign == 0 else b.mant" if flip
+          else "b.mant if b.sign == 0 else -b.mant")
+    return f"""\
+def _kernel(a, b):
+    if a.kind is _KF and b.kind is _KF:
+        _ma = a.mant if a.sign == 0 else -a.mant
+        _mb = {mb}
+        _ea = a.exp
+        _eb = b.exp
+        if _ea <= _eb:
+            _t = _ma + (_mb << (_eb - _ea))
+            _e = _ea
+        else:
+            _t = (_ma << (_ea - _eb)) + _mb
+            _e = _eb
+        if _t == 0:
+            return _SZERO
+        if _t < 0:
+            _s = 1
+            _m = -_t
+        else:
+            _s = 0
+            _m = _t
+{_round_lines(prec, rm, False, 8)}
+    return _FB(a, b)
+"""
+
+
+def _mul_source(prec: int, rm: RoundingMode) -> str:
+    return f"""\
+def _kernel(a, b):
+    if a.kind is _KF and b.kind is _KF:
+        _s = a.sign ^ b.sign
+        _m = a.mant * b.mant
+        _e = a.exp + b.exp
+{_round_lines(prec, rm, False, 8)}
+    return _FB(a, b)
+"""
+
+
+def _div_source(prec: int, rm: RoundingMode) -> str:
+    return f"""\
+def _kernel(a, b):
+    if a.kind is _KF and b.kind is _KF:
+        _s = a.sign ^ b.sign
+        _am = a.mant
+        _bm = b.mant
+        _shd = {prec + 2} - (_am.bit_length() - _bm.bit_length())
+        if _shd < 0:
+            _shd = 0
+        _q0, _r = divmod(_am << _shd, _bm)
+        _d = {prec + 2} - _q0.bit_length()
+        if _d > 0:
+            _shd += _d
+            _q0, _r = divmod(_am << _shd, _bm)
+        _m = _q0
+        _e = a.exp - b.exp - _shd
+        _st = _r != 0
+        _s = _s
+{_round_lines(prec, rm, True, 8)}
+    return _FB(a, b)
+"""
+
+
+def _fma_source(prec: int, rm: RoundingMode, flip: bool) -> str:
+    mc = ("-c.mant if c.sign == 0 else c.mant" if flip
+          else "c.mant if c.sign == 0 else -c.mant")
+    return f"""\
+def _kernel(a, b, c):
+    if a.kind is _KF and b.kind is _KF:
+        _ck = c.kind
+        if _ck is _KF or _ck is _KZ:
+            _ma = a.mant if a.sign == 0 else -a.mant
+            _mb = b.mant if b.sign == 0 else -b.mant
+            _pm = _ma * _mb
+            _pe = a.exp + b.exp
+            if _ck is _KF:
+                _mc = {mc}
+                _ec = c.exp
+                if _pe <= _ec:
+                    _t = _pm + (_mc << (_ec - _pe))
+                    _e = _pe
+                else:
+                    _t = (_pm << (_pe - _ec)) + _mc
+                    _e = _ec
+            else:
+                _t = _pm
+                _e = _pe
+            if _t == 0:
+                return _SZERO
+            if _t < 0:
+                _s = 1
+                _m = -_t
+            else:
+                _s = 0
+                _m = _t
+{_round_lines(prec, rm, False, 12)}
+    return _FB(a, b, c)
+"""
+
+
+def _sqrt_source(prec: int, rm: RoundingMode) -> str:
+    return f"""\
+def _kernel(a):
+    if a.kind is _KF and a.sign == 0:
+        _shq = {2 * (prec + 2)} - a.mant.bit_length()
+        if _shq < 0:
+            _shq = 0
+        if (a.exp - _shq) & 1:
+            _shq += 1
+        _m0 = a.mant << _shq
+        _root = _isqrt(_m0)
+        _st = _root * _root != _m0
+        _s = 0
+        _m = _root
+        _e = (a.exp - _shq) >> 1
+{_round_lines(prec, rm, True, 8)}
+    return _FB(a)
+"""
+
+
+_SOURCES = {
+    "add": lambda prec, rm: _addsub_source(prec, rm, False),
+    "sub": lambda prec, rm: _addsub_source(prec, rm, True),
+    "mul": _mul_source,
+    "div": _div_source,
+    "fma": lambda prec, rm: _fma_source(prec, rm, False),
+    "fms": lambda prec, rm: _fma_source(prec, rm, True),
+    "sqrt": _sqrt_source,
+}
+
+_LIBRARY = {
+    "add": arith.add, "sub": arith.sub, "mul": arith.mul,
+    "div": arith.div, "fma": arith.fma, "fms": arith.fms,
+    "sqrt": arith.sqrt,
+}
+
+
+def kernel_source(op: str, prec: int,
+                  rm: RoundingMode = RoundingMode.NEAREST_EVEN) -> str:
+    """The specialized Python source for ``(op, prec, rm)``."""
+    if op not in _SOURCES:
+        raise ValueError(f"no specialized kernel for {op!r}; "
+                         f"choose from {KERNEL_OPS}")
+    if prec < 1:
+        raise ValueError(f"precision must be >= 1, got {prec}")
+    return _SOURCES[op](prec, rm)
+
+
+def specialized_kernel(op: str, prec: int,
+                       rm: RoundingMode = RoundingMode.NEAREST_EVEN
+                       ) -> Callable:
+    """A compiled kernel bit-identical to ``arith.<op>(..., prec, rm)``.
+
+    Binary ops take ``(a, b)``, fused ops ``(a, b, c)``, sqrt ``(a)``;
+    all operands must already be BigFloats.  Memoized per
+    ``(op, prec, rm)``.
+    """
+    key = (op, prec, rm.value)
+    kernel = _CACHE.get(key)
+    if kernel is not None:
+        return kernel
+    source = kernel_source(op, prec, rm)
+    library = _LIBRARY[op]
+    if op == "sqrt":
+        def fallback(a, _lib=library, _p=prec, _r=rm):
+            return _lib(a, _p, _r)
+    elif op in ("fma", "fms"):
+        def fallback(a, b, c, _lib=library, _p=prec, _r=rm):
+            return _lib(a, b, c, _p, _r)
+    else:
+        def fallback(a, b, _lib=library, _p=prec, _r=rm):
+            return _lib(a, b, _p, _r)
+    namespace = {
+        "_KF": Kind.FINITE,
+        "_KZ": Kind.ZERO,
+        "_BF": BigFloat,
+        "_FB": fallback,
+        "_isqrt": math.isqrt,
+        "_SZERO": BigFloat.zero(
+            prec, 1 if rm is RoundingMode.TOWARD_NEGATIVE else 0),
+    }
+    code = compile(source, f"<vpkernel:{op}/{prec}/{rm.value}>", "exec")
+    exec(code, namespace)
+    kernel = namespace["_kernel"]
+    _CACHE[key] = kernel
+    return kernel

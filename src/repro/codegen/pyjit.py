@@ -1,0 +1,1219 @@
+"""Per-function Python-source codegen: the ``jit`` execution engine.
+
+The closure-table engine (:mod:`repro.runtime.dispatch`) pays one Python
+call plus several frame-dict operations per executed IR instruction.
+This module removes both: :class:`FunctionEmitter` translates one IR
+function into straight-line Python source with every SSA value
+register-allocated to a Python local, constant-attribute vpfloat
+precisions / rounding modes / guard bits baked into the emitted text,
+the :mod:`repro.bigfloat.arith` integer-mantissa kernels inlined (via
+:mod:`repro.codegen.kernels`) for the constant-precision ``RNDN`` case,
+and all statically-known cycle charges of a basic block folded into one
+bulk ``report.charge(category, total)`` per category.
+
+Observable semantics are bit-identical with the closure engines for any
+function the emitter accepts: the same cycles land in the same
+categories, the same memory traffic reaches the cache model, runtime
+builtins run through the interpreter's *installed* handlers (so MPFR
+pool sampling, registry variants and error text are shared, not
+re-implemented), and runtime errors keep their exact types and
+messages.  Anything the emitter cannot prove static -- dynamic vpfloat
+attributes, posit arithmetic, unknown builtins, dynamically-sized
+element types, non-static GEPs -- raises :class:`_Unsupported` during
+emission and that one *function* silently falls back to the fused
+closure-table engine; jit selection is per-function, never a hard
+error.
+
+Generated source is self-contained: it defines ``_make(R)`` where ``R``
+is a :class:`JitRuntime` bound to one (interpreter, function) pair, and
+every constant, instruction handle, global address, builtin handler and
+specialized kernel is re-resolved through ``R`` by stable IR
+coordinates (block index, instruction index, operand index).  The text
+therefore contains no live object references and can be persisted in
+the compile cache (``<key>.vpcgen`` sidecars, see
+:meth:`repro.core.cache.CompileCache.put_codegen`) and re-bound in a
+different process against the identical pickled program.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..bigfloat import BigFloat, RNDN, limb_bytes
+from ..bigfloat.number import Kind
+from ..ir import (
+    AllocaInst,
+    ArrayType,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantString,
+    ConstantVPFloat,
+    FCmpInst,
+    FNegInst,
+    Function,
+    GEPInst,
+    GlobalVariable,
+    ICmpInst,
+    LoadInst,
+    PhiInst,
+    PointerType,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    StructType,
+    UndefValue,
+    UnreachableInst,
+    VPFloatType,
+)
+from ..observability.tracer import CAT_COMPILE
+from . import CODEGEN_VERSION
+from .kernels import specialized_kernel
+
+#: vpfloat binary opcodes with an inlinable specialized kernel.
+_VP_OPS = {"fadd": "add", "fsub": "sub", "fmul": "mul", "fdiv": "div"}
+
+_INT_SYMS = {"add": "+", "sub": "-", "mul": "*",
+             "and": "&", "or": "|", "xor": "^"}
+_FLOAT_SYMS = {"fadd": "+", "fsub": "-", "fmul": "*"}
+_FLOAT_FIELDS = {"fadd": "f64_add", "fsub": "f64_add",
+                 "fmul": "f64_mul", "fdiv": "f64_div", "frem": "f64_div"}
+_SIGNED_CMPS = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
+                "sgt": ">", "sge": ">="}
+_UNSIGNED_CMPS = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}
+
+#: MPFR runtime builtins inlined at their call sites (name -> arity).
+_MPFR_INLINE = {
+    "mpfr_add": 3, "mpfr_sub": 3, "mpfr_mul": 3, "mpfr_div": 3,
+    "mpfr_fma": 4, "mpfr_fms": 4, "mpfr_set": 2,
+    "mpfr_set_d": 2, "mpfr_set_si": 2,
+}
+
+
+class _Unsupported(Exception):
+    """The emitter cannot prove this function static; fall back."""
+
+
+class _KernelMap(dict):
+    """``prec -> specialized RNDN kernel`` for one arith op.
+
+    MPFR handle precisions are runtime values (they flow through
+    ``mpfr_init2``), so inlined mpfr call sites key their kernel by the
+    destination handle's precision at execution time; the dict hit is a
+    single C-level lookup and misses specialize on first use.
+    """
+
+    def __init__(self, op: str):
+        super().__init__()
+        self.op = op
+
+    def __missing__(self, prec: int):
+        kernel = specialized_kernel(self.op, prec, RNDN)
+        self[prec] = kernel
+        return kernel
+
+
+class JitRuntime:
+    """Make-time resolver for one (interpreter, function) pair.
+
+    Emitted modules receive one instance as ``R`` and resolve every
+    non-literal prelude binding through it by IR coordinates, so the
+    same source text re-binds cleanly against any interpreter running
+    the identical program.
+    """
+
+    __slots__ = ("interp", "func")
+
+    # Shared runtime references the emitted prelude picks up; class
+    # attributes so every generated module sees one set of objects.
+    f32 = None          # filled below (module import order)
+    trunc_div = None
+    VPR = None
+    XLE = None
+    BigFloat = BigFloat
+    KFIN = Kind.FINITE
+    RNDN = RNDN
+    fmod = math.fmod
+    copysign = math.copysign
+    inf = math.inf
+    nan = math.nan
+    limb_bytes = staticmethod(limb_bytes)
+
+    def __init__(self, interp, func: Function):
+        self.interp = interp
+        self.func = func
+
+    def _inst(self, bi: int, ii: int):
+        return self.func.blocks[bi].instructions[ii]
+
+    def inst(self, bi: int, ii: int):
+        """The live instruction object at (block, instruction) index."""
+        return self._inst(bi, ii)
+
+    def const(self, bi: int, ii: int, oi: int):
+        """Resolve operand ``oi`` of instruction (bi, ii) frame-free,
+        with the closure engine's getter semantics."""
+        return self._resolve(self._inst(bi, ii).operands[oi])
+
+    def default(self, bi: int, ii: int):
+        """The (shared) zero value loads of this instruction produce."""
+        return self.interp._default(self._inst(bi, ii).type, None)
+
+    def global_addr(self, name: str) -> int:
+        return self.interp.globals[name]
+
+    def function(self, name: str) -> Function:
+        return self.interp.module.get_function(name)
+
+    def builtin(self, name: str):
+        handler = self.interp._builtins.get(name)
+        if handler is None:
+            raise KeyError(f"no runtime builtin {name!r}")
+        return handler
+
+    def kernel(self, opcode: str, prec: int):
+        return specialized_kernel(_VP_OPS[opcode], prec, RNDN)
+
+    def mpfr_kernels(self, op: str) -> _KernelMap:
+        return _KernelMap(op)
+
+    def _resolve(self, v):
+        interp = self.interp
+        if isinstance(v, ConstantInt):
+            return v.value
+        if isinstance(v, ConstantFloat):
+            value = v.value
+            return JitRuntime.f32(value) if v.type.bits == 32 else value
+        if isinstance(v, ConstantPointerNull):
+            return 0
+        if isinstance(v, ConstantString):
+            return v.text
+        if isinstance(v, UndefValue):
+            return interp._default(v.type, None)
+        if isinstance(v, Constant):
+            return interp._constant(v, None)
+        if isinstance(v, GlobalVariable):
+            return interp.globals[v.name]
+        if isinstance(v, Function):
+            return v
+        raise TypeError(f"cannot resolve {type(v).__name__} at bind time")
+
+
+def _bind_runtime_refs() -> None:
+    # Deferred import: repro.runtime.interpreter imports this package
+    # lazily from inside a method, so importing it back at call time is
+    # cycle-free; doing it at module import keeps direct `import
+    # repro.codegen.pyjit` working too.
+    from ..runtime.interpreter import (ExecutionLimitExceeded,
+                                       VPRuntimeError, _f32, _trunc_div)
+
+    JitRuntime.f32 = staticmethod(_f32)
+    JitRuntime.trunc_div = staticmethod(_trunc_div)
+    JitRuntime.VPR = VPRuntimeError
+    JitRuntime.XLE = ExecutionLimitExceeded
+
+
+_bind_runtime_refs()
+
+
+# ----------------------------------------------------------------- #
+# Emitter
+# ----------------------------------------------------------------- #
+
+_PRELUDE = """\
+_interp = R.interp
+_acct = _interp.accounting
+_rep = _acct.report
+_chg = _rep.charge
+_C = _acct.costs
+_c_call = _C.call_overhead
+_c_ret = _C.ret
+_LIM = _interp.max_steps
+_LIMMSG = "exceeded %d interpreted instructions" % _LIM
+_mem = _interp.memory
+_ml = _mem.load
+_ms = _mem.store
+_alloc = _mem.alloc_stack
+_smark = _mem.stack_mark
+_srel = _mem.stack_release
+_VPR = R.VPR
+_XLE = R.XLE
+_BF = R.BigFloat
+_FIN = R.KFIN
+_AB = _interp._as_bigfloat
+_f32 = R.f32
+_fcmpv = _interp._fcmp_values
+_cast = _interp._cast_value
+_call = _interp.call_function
+_tdiv = R.trunc_div
+_fmod = R.fmod
+_copysign = R.copysign
+_INF = R.inf
+_NAN = R.nan
+_mreg = _interp.metrics
+_MET = _mreg is not None
+if _MET:
+    _obs = _mreg.observe
+    _minc = _mreg.inc
+_mcc = _interp._mpfr_cost_cache
+_mopc = _C.mpfr_op_cost
+_bcat = _rep.by_category
+_mstats = _interp.mpfr.stats
+_mbump = _mstats.bump
+_lbytes = R.limb_bytes
+_lbc = {}
+_cachem = _acct.cache
+_HC = _cachem is not None
+if _HC:
+    _cacc = _cachem.access"""
+
+
+class FunctionEmitter:
+    """Emits one function's jit module source, or raises _Unsupported."""
+
+    def __init__(self, interp, func: Function):
+        self.interp = interp
+        self.func = func
+        self.names: Dict[int, str] = {}
+        self.pool: Dict[int, str] = {}
+        self.prelude: List[str] = []
+        self._inst_refs: Dict[int, str] = {}
+        self._fn_refs: Dict[str, str] = {}
+        self._builtin_refs: Dict[str, str] = {}
+        self._kernel_refs: Dict[Tuple[str, int], str] = {}
+        self._mpfr_map_refs: Dict[str, str] = {}
+        self._default_refs: Dict[int, str] = {}
+        # Current block accumulators.
+        self._charges: Dict[str, Dict[str, int]] = {}
+        self._tele_bits: Dict[Tuple[str, int], int] = {}
+        self._tele_guard: Dict[int, int] = {}
+
+    # ---- static analysis helpers --------------------------------- #
+
+    def _static_sizeof(self, type_) -> Optional[int]:
+        try:
+            return self.interp._sizeof(type_, None)
+        except Exception:
+            return None
+
+    def _vp_static_ok(self, type_) -> bool:
+        """True if no dynamic vpfloat attribute can be reached when the
+        runtime resolves this type without a frame."""
+        if isinstance(type_, VPFloatType):
+            attrs = [a for a in (type_.exp_attr, type_.prec_attr,
+                                 getattr(type_, "size_attr", None))
+                     if a is not None]
+            if not all(isinstance(a, ConstantInt) for a in attrs):
+                return False
+            try:
+                self.interp.vp_config(type_, None)
+            except Exception:
+                # Statically invalid attrs: fall back so the closure
+                # engine surfaces the validation error at execution.
+                return False
+            return True
+        if isinstance(type_, ArrayType):
+            return self._vp_static_ok(type_.element)
+        if isinstance(type_, StructType):
+            return all(self._vp_static_ok(f) for f in type_.fields)
+        return True
+
+    # ---- operand references -------------------------------------- #
+
+    def ref(self, v, bi: int, ii: int, oi: int) -> str:
+        name = self.names.get(id(v))
+        if name is not None:
+            return name
+        if isinstance(v, ConstantInt):
+            return repr(v.value)
+        if isinstance(v, ConstantPointerNull):
+            return "0"
+        if isinstance(v, ConstantFloat):
+            value = JitRuntime.f32(v.value) if v.type.bits == 32 \
+                else v.value
+            if math.isfinite(value):
+                return repr(value)
+            return self._pool(v, bi, ii, oi)
+        if isinstance(v, ConstantVPFloat):
+            if not self._vp_static_ok(v.type):
+                raise _Unsupported("dynamic vpfloat constant")
+            return self._pool(v, bi, ii, oi)
+        if isinstance(v, UndefValue):
+            try:
+                self.interp._default(v.type, None)
+            except Exception:
+                raise _Unsupported("dynamic undef type") from None
+            return self._pool(v, bi, ii, oi)
+        if isinstance(v, (Constant, GlobalVariable, Function)):
+            return self._pool(v, bi, ii, oi)
+        raise _Unsupported(f"unsupported operand {type(v).__name__}")
+
+    def _pool(self, v, bi: int, ii: int, oi: int) -> str:
+        name = self.pool.get(id(v))
+        if name is None:
+            name = f"k{len(self.pool)}"
+            self.pool[id(v)] = name
+            self.prelude.append(f"{name} = R.const({bi}, {ii}, {oi})")
+        return name
+
+    def _inst_ref(self, inst, bi: int, ii: int) -> str:
+        name = self._inst_refs.get(id(inst))
+        if name is None:
+            name = f"_i{len(self._inst_refs)}"
+            self._inst_refs[id(inst)] = name
+            self.prelude.append(f"{name} = R.inst({bi}, {ii})")
+        return name
+
+    def _fn_ref(self, func: Function) -> str:
+        name = self._fn_refs.get(func.name)
+        if name is None:
+            name = f"_f{len(self._fn_refs)}"
+            self._fn_refs[func.name] = name
+            self.prelude.append(f"{name} = R.function({func.name!r})")
+        return name
+
+    def _builtin_ref(self, bname: str) -> str:
+        name = self._builtin_refs.get(bname)
+        if name is None:
+            name = f"_h{len(self._builtin_refs)}"
+            self._builtin_refs[bname] = name
+            self.prelude.append(f"{name} = R.builtin({bname!r})")
+        return name
+
+    def _kernel_ref(self, opcode: str, prec: int) -> str:
+        name = self._kernel_refs.get((opcode, prec))
+        if name is None:
+            name = f"_k{len(self._kernel_refs)}"
+            self._kernel_refs[(opcode, prec)] = name
+            self.prelude.append(f"{name} = R.kernel({opcode!r}, {prec})")
+        return name
+
+    def _mpfr_map_ref(self, op: str) -> str:
+        name = self._mpfr_map_refs.get(op)
+        if name is None:
+            name = f"_mk{len(self._mpfr_map_refs)}"
+            self._mpfr_map_refs[op] = name
+            self.prelude.append(f"{name} = R.mpfr_kernels({op!r})")
+        return name
+
+    def _default_ref(self, inst, bi: int, ii: int) -> str:
+        name = self._default_refs.get(id(inst))
+        if name is None:
+            name = f"_d{len(self._default_refs)}"
+            self._default_refs[id(inst)] = name
+            self.prelude.append(f"{name} = R.default({bi}, {ii})")
+        return name
+
+    # ---- per-block accounting ------------------------------------ #
+
+    def _charge(self, category: str, field: str, mult: int = 1) -> None:
+        per_field = self._charges.setdefault(category, {})
+        per_field[field] = per_field.get(field, 0) + mult
+
+    def _vp_telemetry(self, opcode: str, prec: int, guard: int) -> None:
+        key = (opcode, prec)
+        self._tele_bits[key] = self._tele_bits.get(key, 0) + 1
+        self._tele_guard[guard] = self._tele_guard.get(guard, 0) + 1
+
+    # ---- entry point --------------------------------------------- #
+
+    def emit(self) -> str:
+        func = self.func
+        blocks = list(func.blocks)
+        if not blocks:
+            raise _Unsupported("function has no blocks")
+        self.block_index = {id(b): i for i, b in enumerate(blocks)}
+        entry_index = self.block_index.get(id(func.entry))
+        if entry_index is None:
+            raise _Unsupported("entry block not in block list")
+        for i, arg in enumerate(func.args):
+            self.names[id(arg)] = f"a{i}"
+        n = 0
+        for block in blocks:
+            for inst in block.instructions:
+                self.names[id(inst)] = f"v{n}"
+                n += 1
+
+        charge_defs: List[str] = []
+        block_chunks: List[List[str]] = []
+        for bi, block in enumerate(blocks):
+            lines = self._emit_block(block, bi, blocks)
+            block_chunks.append(lines)
+            for category in sorted(self._charges):
+                terms = []
+                for field in sorted(self._charges[category]):
+                    count = self._charges[category][field]
+                    terms.append(f"_C.{field}" if count == 1
+                                 else f"_C.{field} * {count}")
+                charge_defs.append(f"_q{bi}_{category} = "
+                                   + " + ".join(terms))
+
+        params = ", ".join(f"a{i}" for i in range(len(func.args)))
+        out: List[str] = [
+            f"# vpjit v{CODEGEN_VERSION}: function {func.name!r}",
+            "# Auto-generated by repro.codegen.pyjit -- straight-line"
+            " Python with SSA",
+            "# values in locals and per-block bulk cycle accounting;"
+            " do not edit.",
+            "",
+            "def _make(R):",
+        ]
+        for line in _PRELUDE.splitlines():
+            out.append("    " + line)
+        for line in self.prelude:
+            out.append("    " + line)
+        for line in charge_defs:
+            out.append("    " + line)
+        out.append("")
+        out.append(f"    def _fn({params}):")
+        out.append('        _chg("call", _c_call)')
+        out.append("        _mark = _smark()")
+        out.append(f"        _bb = {entry_index}")
+        # Hot-block attribution for traced runs: the traced call path
+        # installs a counts dict on the interpreter for the duration of
+        # the call; untraced runs pay one None-check per block.
+        out.append("        _cnt = _interp._block_counts")
+        out.append("        while True:")
+        for bi, lines in enumerate(block_chunks):
+            kw = "if" if bi == 0 else "elif"
+            out.append(f"            {kw} _bb == {bi}:")
+            name = blocks[bi].name
+            out.append("                if _cnt is not None:")
+            out.append(f"                    _cnt[{name!r}] = "
+                       f"_cnt.get({name!r}, 0) + 1")
+            for line in lines:
+                out.append("                " + line)
+        out.append("            else:")
+        out.append('                raise _VPR("vpjit: unknown block id")')
+        out.append("")
+        out.append("    return _fn")
+        out.append("")
+        return "\n".join(out)
+
+    # ---- blocks -------------------------------------------------- #
+
+    def _emit_block(self, block, bi: int, blocks) -> List[str]:
+        self._charges = {}
+        self._tele_bits = {}
+        self._tele_guard = {}
+        body: List = []
+        term = None
+        count = 0
+        for ii, inst in enumerate(block.instructions):
+            if isinstance(inst, PhiInst):
+                continue
+            count += 1
+            if isinstance(inst, (BranchInst, RetInst, UnreachableInst)):
+                term = (inst, ii)
+            else:
+                body.append((inst, ii))
+
+        step_lines: List[str] = []
+        for inst, ii in body:
+            self._emit_step(inst, bi, ii, step_lines)
+        term_lines = self._emit_terminator(block, term, bi, blocks)
+
+        lines = [
+            f"_n = _interp.steps + {count}",
+            "_interp.steps = _n",
+            "if _n > _LIM:",
+            "    raise _XLE(_LIMMSG)",
+            f"_rep.instructions += {count}",
+        ]
+        for category in sorted(self._charges):
+            lines.append(f'_chg({category!r}, _q{bi}_{category})')
+        if self._tele_bits:
+            rounding_key = "precision.rounding." + RNDN.value
+            total = sum(self._tele_bits.values())
+            lines.append("if _MET:")
+            for (opcode, prec) in sorted(self._tele_bits):
+                n = self._tele_bits[(opcode, prec)]
+                lines.append(f'    _obs("precision.op.{opcode}.bits", '
+                             f"{prec}, {n})")
+            for guard in sorted(self._tele_guard):
+                n = self._tele_guard[guard]
+                lines.append(f'    _obs("precision.guard_bits", '
+                             f"{guard}, {n})")
+            lines.append(f'    _minc({rounding_key!r}, {total})')
+        lines.extend(step_lines)
+        lines.extend(term_lines)
+        return lines
+
+    def _phi_moves(self, cur_block, target) -> List[str]:
+        tbi = self.block_index[id(target)]
+        lhs: List[str] = []
+        rhs: List[str] = []
+        for tii, phi in enumerate(target.instructions):
+            if not isinstance(phi, PhiInst):
+                continue
+            for j, pred in enumerate(phi.incoming_blocks):
+                if pred is cur_block:
+                    lhs.append(self.names[id(phi)])
+                    rhs.append(self.ref(phi.operands[j], tbi, tii, j))
+        if not lhs:
+            return []
+        return [f"{', '.join(lhs)} = {', '.join(rhs)}"]
+
+    def _emit_terminator(self, block, term, bi: int, blocks) -> List[str]:
+        if term is None:
+            msg = f"block {block.name} fell off the end"
+            return [f"raise _VPR({msg!r})"]
+        inst, ii = term
+        if isinstance(inst, RetInst):
+            value = "None" if inst.value is None \
+                else self.ref(inst.value, bi, ii, 0)
+            return ["_srel(_mark)", '_chg("ret", _c_ret)',
+                    f"return {value}"]
+        if isinstance(inst, BranchInst):
+            self._charge("branch", "branch")
+            if inst.is_conditional:
+                cond = self.ref(inst.condition, bi, ii, 0)
+                then_i = self.block_index[id(inst.targets[0])]
+                else_i = self.block_index[id(inst.targets[1])]
+                lines = [f"if {cond}:"]
+                for move in self._phi_moves(block, inst.targets[0]):
+                    lines.append("    " + move)
+                lines.append(f"    _bb = {then_i}")
+                lines.append("else:")
+                for move in self._phi_moves(block, inst.targets[1]):
+                    lines.append("    " + move)
+                lines.append(f"    _bb = {else_i}")
+                lines.append("continue")
+                return lines
+            target_i = self.block_index[id(inst.targets[0])]
+            lines = self._phi_moves(block, inst.targets[0])
+            lines.append(f"_bb = {target_i}")
+            lines.append("continue")
+            return lines
+        # UnreachableInst
+        return ['raise _VPR("executed unreachable instruction")']
+
+    # ---- steps --------------------------------------------------- #
+
+    def _emit_step(self, inst, bi: int, ii: int, out: List[str]) -> None:
+        if isinstance(inst, BinaryInst):
+            self._emit_binary(inst, bi, ii, out)
+        elif isinstance(inst, CallInst):
+            self._emit_call(inst, bi, ii, out)
+        elif isinstance(inst, LoadInst):
+            self._emit_load(inst, bi, ii, out)
+        elif isinstance(inst, StoreInst):
+            self._emit_store(inst, bi, ii, out)
+        elif isinstance(inst, GEPInst):
+            self._emit_gep(inst, bi, ii, out)
+        elif isinstance(inst, ICmpInst):
+            self._emit_icmp(inst, bi, ii, out)
+        elif isinstance(inst, FCmpInst):
+            self._emit_fcmp(inst, bi, ii, out)
+        elif isinstance(inst, CastInst):
+            self._emit_cast(inst, bi, ii, out)
+        elif isinstance(inst, AllocaInst):
+            self._emit_alloca(inst, bi, ii, out)
+        elif isinstance(inst, FNegInst):
+            self._emit_fneg(inst, bi, ii, out)
+        elif isinstance(inst, SelectInst):
+            self._emit_select(inst, bi, ii, out)
+        else:
+            raise _Unsupported(f"unsupported instruction {inst.opcode}")
+
+    def _emit_binary(self, inst: BinaryInst, bi, ii, out) -> None:
+        a = self.ref(inst.lhs, bi, ii, 0)
+        b = self.ref(inst.rhs, bi, ii, 1)
+        if inst.type.is_vpfloat:
+            self._emit_vp_binary(inst, a, b, out)
+        elif inst.type.is_float:
+            self._emit_float_binary(inst, a, b, out)
+        else:
+            self._emit_int_binary(inst, a, b, out)
+
+    def _emit_vp_binary(self, inst: BinaryInst, a, b, out) -> None:
+        name = self.names[id(inst)]
+        op = inst.opcode
+        vptype = inst.type
+        if op not in _VP_OPS:
+            msg = f"{op} unsupported on vpfloat"
+            out.append(f"raise _VPR({msg!r})")
+            return
+        if vptype.format == "posit":
+            raise _Unsupported("posit vp arithmetic")
+        if not self._vp_static_ok(vptype):
+            raise _Unsupported("dynamic vpfloat attributes")
+        prec = self.interp.vp_config(vptype, None)[0]
+        kernel = self._kernel_ref(op, prec)
+        self._charge("vpfloat_native", "f64_other", max(1, prec // 64))
+        self._vp_telemetry(op, prec, 0)
+        if vptype.format == "mpfr":
+            limit = 1 << (vptype.exp_attr.value - 1)
+            out.append(f"_x = {kernel}(_AB({a}, {prec}), _AB({b}, {prec}))")
+            out.append("if _x.kind is _FIN:")
+            out.append(f"    _e = _x.exp + {prec}")
+            out.append(f"    if _e > {limit}:")
+            out.append(f"        _x = _BF.inf({prec}, _x.sign)")
+            out.append(f"    elif _e < -{limit}:")
+            out.append(f"        _x = _BF.zero({prec}, _x.sign)")
+            out.append(f"{name} = _x")
+        else:  # unum: exact intermediate, no per-op re-encoding
+            out.append(f"{name} = {kernel}(_AB({a}, {prec}), "
+                       f"_AB({b}, {prec}))")
+
+    def _emit_float_binary(self, inst: BinaryInst, a, b, out) -> None:
+        name = self.names[id(inst)]
+        op = inst.opcode
+        field = _FLOAT_FIELDS.get(op)
+        if field is None:
+            raise _Unsupported(f"float op {op}")
+        self._charge("f64", field)
+        narrow = inst.type.bits == 32
+        if op in _FLOAT_SYMS:
+            expr = f"{a} {_FLOAT_SYMS[op]} {b}"
+        elif op == "frem":
+            expr = f"_fmod({a}, {b})"
+        else:  # fdiv with C-style inf/nan on division by zero
+            out.append(f"_x = {a}")
+            out.append(f"_y = {b}")
+            expr = ("_x / _y if _y != 0.0 else "
+                    "(_copysign(_INF, _x) if _x != 0.0 else _NAN)")
+        out.append(f"{name} = _f32({expr})" if narrow
+                   else f"{name} = {expr}")
+
+    def _emit_int_binary(self, inst: BinaryInst, a, b, out) -> None:
+        name = self.names[id(inst)]
+        op = inst.opcode
+        bits = inst.type.bits
+        umask = (1 << bits) - 1
+        shmask = bits - 1
+        self._charge("int", "int_op")
+
+        def adjust():
+            if bits > 1:
+                out.append(f"if {name} >= {1 << (bits - 1)}:")
+                out.append(f"    {name} -= {1 << bits}")
+
+        if op in _INT_SYMS:
+            out.append(f"{name} = ({a} {_INT_SYMS[op]} {b}) & {umask}")
+            adjust()
+        elif op in ("sdiv", "srem"):
+            msg = ("integer division by zero" if op == "sdiv"
+                   else "integer remainder by zero")
+            out.append(f"_x = {a}")
+            out.append(f"_y = {b}")
+            out.append("if _y == 0:")
+            out.append(f"    raise _VPR({msg!r})")
+            if op == "sdiv":
+                out.append(f"{name} = _tdiv(_x, _y) & {umask}")
+            else:
+                out.append(f"{name} = (_x - _tdiv(_x, _y) * _y) & {umask}")
+            adjust()
+        elif op in ("udiv", "urem"):
+            msg = ("integer division by zero" if op == "udiv"
+                   else "integer remainder by zero")
+            out.append(f"_x = {a} & {umask}")
+            out.append(f"_y = {b} & {umask}")
+            out.append("if _y == 0:")
+            out.append(f"    raise _VPR({msg!r})")
+            out.append(f"{name} = _x {'%' if op == 'urem' else '//'} _y")
+            adjust()
+        elif op == "shl":
+            out.append(f"{name} = ({a} << ({b} & {shmask})) & {umask}")
+            adjust()
+        elif op == "ashr":
+            out.append(f"{name} = ({a} >> ({b} & {shmask})) & {umask}")
+            adjust()
+        elif op == "lshr":
+            out.append(f"{name} = ({a} & {umask}) >> ({b} & {shmask})")
+            adjust()
+        else:
+            raise _Unsupported(f"integer op {op}")
+
+    def _emit_load(self, inst: LoadInst, bi, ii, out) -> None:
+        nbytes = self._static_sizeof(inst.type)
+        if nbytes is None:
+            raise _Unsupported("dynamic load size")
+        try:
+            self.interp._default(inst.type, None)
+        except Exception:
+            raise _Unsupported("dynamic load default") from None
+        default = self._default_ref(inst, bi, ii)
+        pointer = self.ref(inst.pointer, bi, ii, 0)
+        name = self.names[id(inst)]
+        out.append(f"{name} = _ml(int({pointer}), {nbytes}, {default})")
+
+    def _emit_store(self, inst: StoreInst, bi, ii, out) -> None:
+        nbytes = self._static_sizeof(inst.value.type)
+        if nbytes is None:
+            raise _Unsupported("dynamic store size")
+        value = self.ref(inst.value, bi, ii, 0)
+        pointer = self.ref(inst.pointer, bi, ii, 1)
+        out.append(f"_ms(int({pointer}), {value}, {nbytes})")
+
+    def _emit_alloca(self, inst: AllocaInst, bi, ii, out) -> None:
+        elem = self._static_sizeof(inst.allocated_type)
+        if elem is None:
+            raise _Unsupported("dynamic alloca element size")
+        name = self.names[id(inst)]
+        self._charge("alloca", "int_op")
+        if inst.count is None:
+            out.append(f"{name} = _alloc({elem})")
+            return
+        count = self.ref(inst.count, bi, ii, 0)
+        out.append(f"_x = int({count})")
+        out.append("if _x < 0:")
+        out.append('    raise _VPR("negative VLA extent")')
+        out.append(f"{name} = _alloc({elem} * (_x if _x > 1 else 1))")
+
+    def _emit_gep(self, inst: GEPInst, bi, ii, out) -> None:
+        pointee = inst.pointer.type.pointee
+        stride0 = self._static_sizeof(pointee)
+        if stride0 is None:
+            raise _Unsupported("dynamic gep pointee")
+        const_offset = 0
+        terms: List[Tuple[str, int]] = []
+        indices = inst.indices
+        if isinstance(indices[0], ConstantInt):
+            const_offset += indices[0].value * stride0
+        else:
+            terms.append((self.ref(indices[0], bi, ii, 1), stride0))
+        current = pointee
+        for m, index in enumerate(indices[1:], start=1):
+            if isinstance(current, ArrayType):
+                stride = self._static_sizeof(current.element)
+                if stride is None:
+                    raise _Unsupported("dynamic gep stride")
+                if isinstance(index, ConstantInt):
+                    const_offset += index.value * stride
+                else:
+                    terms.append((self.ref(index, bi, ii, 1 + m), stride))
+                current = current.element
+            elif isinstance(current, StructType):
+                if not isinstance(index, ConstantInt):
+                    raise _Unsupported("dynamic struct gep index")
+                try:
+                    const_offset += current.field_offset(index.value)
+                except Exception:
+                    raise _Unsupported("bad struct gep index") from None
+                current = current.fields[index.value]
+            else:
+                raise _Unsupported("gep into scalar")
+        pointer = self.ref(inst.pointer, bi, ii, 0)
+        parts = [f"int({pointer})"]
+        if const_offset:
+            parts.append(repr(const_offset))
+        for expr, stride in terms:
+            parts.append(f"int({expr})" if stride == 1
+                         else f"int({expr}) * {stride}")
+        name = self.names[id(inst)]
+        self._charge("addr", "int_op")
+        out.append(f"{name} = " + " + ".join(parts))
+
+    def _emit_icmp(self, inst: ICmpInst, bi, ii, out) -> None:
+        a = self.ref(inst.operands[0], bi, ii, 0)
+        b = self.ref(inst.operands[1], bi, ii, 1)
+        pred = inst.predicate
+        if pred in _SIGNED_CMPS:
+            expr = f"{a} {_SIGNED_CMPS[pred]} {b}"
+        elif pred in _UNSIGNED_CMPS:
+            bits = (inst.operands[0].type.bits
+                    if inst.operands[0].type.is_integer else 64)
+            umask = (1 << bits) - 1
+            expr = (f"({a} & {umask}) {_UNSIGNED_CMPS[pred]} "
+                    f"({b} & {umask})")
+        else:
+            raise _Unsupported(f"icmp predicate {pred}")
+        name = self.names[id(inst)]
+        self._charge("icmp", "int_op")
+        out.append(f"{name} = 1 if {expr} else 0")
+
+    def _emit_fcmp(self, inst: FCmpInst, bi, ii, out) -> None:
+        a = self.ref(inst.operands[0], bi, ii, 0)
+        b = self.ref(inst.operands[1], bi, ii, 1)
+        name = self.names[id(inst)]
+        self._charge("fcmp", "f64_other")
+        out.append(f"{name} = _fcmpv({a}, {b}, {inst.predicate!r})")
+
+    def _emit_cast(self, inst: CastInst, bi, ii, out) -> None:
+        for type_ in (inst.type, inst.source.type):
+            if not self._vp_static_ok(type_):
+                raise _Unsupported("dynamic vpfloat cast")
+        source = self.ref(inst.source, bi, ii, 0)
+        name = self.names[id(inst)]
+        self._charge("cast", "int_op")
+        opcode = inst.opcode
+        target = inst.type
+        # The simple conversions transcribe _cast_value's static cases
+        # directly; everything else (fptosi, vpconv, posit rounding)
+        # keeps the shared runtime path.
+        if opcode == "zext":
+            src_bits = inst.source.type.bits
+            out.append(f"{name} = {source} & {(1 << src_bits) - 1}")
+            return
+        if opcode in ("sext", "trunc"):
+            bits = target.bits
+            out.append(f"{name} = int({source}) & {(1 << bits) - 1}")
+            if bits > 1:
+                out.append(f"if {name} >= {1 << (bits - 1)}:")
+                out.append(f"    {name} -= {1 << bits}")
+            return
+        if opcode == "bitcast":
+            out.append(f"{name} = {source}")
+            return
+        if opcode in ("ptrtoint", "inttoptr"):
+            out.append(f"{name} = int({source})")
+            return
+        if opcode in ("sitofp", "uitofp"):
+            if target.is_vpfloat:
+                if target.format != "posit":
+                    prec = self.interp.vp_config(target, None)[0]
+                    out.append(f"{name} = _BF.from_int(int({source}), "
+                               f"{prec})")
+                    return
+            elif target.bits == 32:
+                out.append(f"{name} = _f32(float(int({source})))")
+                return
+            else:
+                out.append(f"{name} = float(int({source}))")
+                return
+        elif opcode in ("fpext", "fptrunc"):
+            if target.bits == 32:
+                out.append(f"{name} = _f32({source})")
+            else:
+                out.append(f"{name} = float({source})")
+            return
+        handle = self._inst_ref(inst, bi, ii)
+        out.append(f"{name} = _cast({handle}, {source}, None)")
+
+    def _emit_fneg(self, inst: FNegInst, bi, ii, out) -> None:
+        a = self.ref(inst.operands[0], bi, ii, 0)
+        name = self.names[id(inst)]
+        self._charge("fneg", "f64_other")
+        if inst.type.is_float and inst.type.bits == 32:
+            out.append(f"_x = {a}")
+            out.append(f"{name} = -_x if isinstance(_x, _BF) "
+                       f"else _f32(-_x)")
+        else:
+            out.append(f"{name} = -{a}")
+
+    def _emit_select(self, inst: SelectInst, bi, ii, out) -> None:
+        cond = self.ref(inst.condition, bi, ii, 0)
+        tv = self.ref(inst.true_value, bi, ii, 1)
+        fv = self.ref(inst.false_value, bi, ii, 2)
+        name = self.names[id(inst)]
+        self._charge("select", "int_op")
+        out.append(f"{name} = {tv} if {cond} else {fv}")
+
+    def _emit_call(self, inst: CallInst, bi, ii, out) -> None:
+        if not self._vp_static_ok(inst.type):
+            raise _Unsupported("dynamic vpfloat call result")
+        for operand in inst.operands:
+            if not self._vp_static_ok(operand.type):
+                raise _Unsupported("dynamic vpfloat call operand")
+        args = [self.ref(a, bi, ii, i)
+                for i, a in enumerate(inst.operands)]
+        name = self.names[id(inst)]
+        callee = inst.callee
+        if isinstance(callee, Function) and not callee.is_declaration:
+            fn = self._fn_ref(callee)
+            out.append(f"{name} = _call({fn}, [{', '.join(args)}])")
+            return
+        bname = callee.name if isinstance(callee, Function) \
+            else str(callee)
+        if bname not in self.interp._builtins:
+            raise _Unsupported(f"unknown builtin {bname}")
+        if bname in _MPFR_INLINE and len(args) == _MPFR_INLINE[bname]:
+            self._emit_mpfr_builtin(inst, bname, args, bi, ii, out)
+            return
+        handler = self._builtin_ref(bname)
+        handle = self._inst_ref(inst, bi, ii)
+        out.append(f"{name} = {handler}([{', '.join(args)}], "
+                   f"{handle}, None)")
+
+    # ---- inlined mpfr builtins ----------------------------------- #
+    #
+    # The MPFR handlers are the hottest path of lowered kernels; the
+    # bodies below are verbatim transcriptions of the installed
+    # handlers (interpreter._install_mpfr_builtins) and the backing
+    # MpfrLibrary methods, with the call layers flattened and the
+    # generic arith kernel replaced by the precision-specialized one.
+    # Every cold or failing case (uninitialized handle, use after
+    # clear) delegates to the installed handler so error types and
+    # messages stay byte-identical.
+
+    def _emit_touch(self, out, reads: List[str], write: str) -> None:
+        out.append("    if _HC:")
+        out.append("        _t0 = _cachem.access_cycles")
+        for var in reads:
+            out.append(f"        _pv = {var}.prec")
+            out.append("        _nb = _lbc.get(_pv)")
+            out.append("        if _nb is None:")
+            out.append("            _nb = _lbytes(_pv)")
+            out.append("            _lbc[_pv] = _nb")
+            out.append(f'        _cacc("r", {var}.limb_addr, _nb)')
+        out.append("        _nb = _lbc.get(_p)")
+        out.append("        if _nb is None:")
+        out.append("            _nb = _lbytes(_p)")
+        out.append("            _lbc[_p] = _nb")
+        out.append(f'        _cacc("w", {write}.limb_addr, _nb)')
+        out.append("        _rep.cycles += _cachem.access_cycles - _t0")
+
+    def _emit_mpfr_charge(self, out, call_name: str) -> None:
+        out.append("    _rep.mpfr_calls += 1")
+        out.append(f"    _cy = _mcc.get(({call_name!r}, _p))")
+        out.append("    if _cy is None:")
+        out.append(f"        _cy = _mopc({call_name!r}, _p)")
+        out.append(f"        _mcc[({call_name!r}, _p)] = _cy")
+        out.append("    _rep.cycles += _cy")
+        out.append('    _bcat["mpfr"] += _cy')
+        out.append("    if _MET:")
+        out.append('        _obs("precision.mpfr.bits", _p)')
+
+    def _emit_clamp(self, out) -> None:
+        out.append("    if _x.exp_bits is not None and _v.kind is _FIN:")
+        out.append("        _lim = 1 << (_x.exp_bits - 1)")
+        out.append("        _e = _v.exp + _p")
+        out.append("        if _e > _lim:")
+        out.append("            _x.value = _BF.inf(_p, _v.sign)")
+        out.append("        elif _e < -_lim:")
+        out.append("            _x.value = _BF.zero(_p, _v.sign)")
+
+    def _emit_mpfr_builtin(self, inst, bname, args, bi, ii, out) -> None:
+        name = self.names[id(inst)]
+        handler = self._builtin_ref(bname)
+        handle = self._inst_ref(inst, bi, ii)
+        delegate = (f"    {name} = {handler}([{', '.join(args)}], "
+                    f"{handle}, None)")
+        op = bname[5:]  # mpfr_<op>
+        if op in ("add", "sub", "mul", "div"):
+            kmap = self._mpfr_map_ref(op)
+            out.append(f"_x = _ml(int({args[0]}), 8)")
+            out.append(f"_y = _ml(int({args[1]}), 8)")
+            out.append(f"_z = _ml(int({args[2]}), 8)")
+            out.append("if (_x is None or _y is None or _z is None or "
+                       "not (_x.alive and _y.alive and _z.alive)):")
+            out.append(delegate)
+            out.append("else:")
+            out.append("    _p = _x.prec")
+            out.append(f"    _v = {kmap}[_p](_y.value, _z.value)")
+            out.append("    _x.value = _v")
+            self._emit_clamp(out)
+            out.append("    _mstats.ops += 1")
+            out.append(f"    _mbump({bname!r})")
+            self._emit_touch(out, ["_y", "_z"], "_x")
+            self._emit_mpfr_charge(out, bname)
+            out.append(f"    {name} = None")
+        elif op in ("fma", "fms"):
+            kmap = self._mpfr_map_ref(op)
+            out.append(f"_x = _ml(int({args[0]}), 8)")
+            out.append(f"_y = _ml(int({args[1]}), 8)")
+            out.append(f"_z = _ml(int({args[2]}), 8)")
+            out.append(f"_w = _ml(int({args[3]}), 8)")
+            out.append("if (_x is None or _y is None or _z is None or "
+                       "_w is None or not (_x.alive and _y.alive and "
+                       "_z.alive and _w.alive)):")
+            out.append(delegate)
+            out.append("else:")
+            out.append("    _p = _x.prec")
+            out.append(f"    _v = {kmap}[_p](_y.value, _z.value, "
+                       "_w.value)")
+            out.append("    _x.value = _v")
+            self._emit_clamp(out)
+            out.append("    _mstats.ops += 1")
+            out.append(f"    _mbump({bname!r})")
+            self._emit_touch(out, ["_y", "_z", "_w"], "_x")
+            self._emit_mpfr_charge(out, bname)
+            out.append(f"    {name} = None")
+        elif op == "set":
+            out.append(f"_x = _ml(int({args[0]}), 8)")
+            out.append(f"_y = _ml(int({args[1]}), 8)")
+            out.append("if (_x is None or _y is None or "
+                       "not (_x.alive and _y.alive)):")
+            out.append(delegate)
+            out.append("else:")
+            out.append("    _p = _x.prec")
+            out.append("    _x.value = _y.value.round_to(_p)")
+            out.append("    _mstats.sets += 1")
+            out.append('    _mbump("mpfr_set")')
+            self._emit_touch(out, ["_y"], "_x")
+            self._emit_mpfr_charge(out, "mpfr_set")
+            out.append(f"    {name} = None")
+        else:  # set_d / set_si
+            ctor = "from_float" if op == "set_d" else "from_int"
+            out.append(f"_x = _ml(int({args[0]}), 8)")
+            out.append("if _x is None or not _x.alive:")
+            out.append(delegate)
+            out.append("else:")
+            out.append("    _p = _x.prec")
+            out.append(f"    _x.value = _BF.{ctor}({args[1]}, _p)")
+            out.append("    _mstats.sets += 1")
+            out.append(f"    _mbump({bname!r})")
+            self._emit_touch(out, [], "_x")
+            self._emit_mpfr_charge(out, bname)
+            out.append(f"    {name} = None")
+
+
+def emit_function_source(interp, func: Function
+                         ) -> Tuple[Optional[str], Optional[str]]:
+    """(source, None) when ``func`` is jit-able, else (None, reason)."""
+    try:
+        return FunctionEmitter(interp, func).emit(), None
+    except _Unsupported as e:
+        return None, str(e)
+
+
+# ----------------------------------------------------------------- #
+# Store + engine
+# ----------------------------------------------------------------- #
+
+class CodegenStore:
+    """Per-program store of codegen artifacts (status, reason, source).
+
+    Backed by a :class:`~repro.core.cache.CompileCache` ``.vpcgen``
+    sidecar when the program came through the compile cache, so warm
+    processes skip re-emission entirely; otherwise purely in-memory
+    (still skipping re-emission across runs of one program object).
+    Compiled code objects are memoized in-process and never persisted.
+    """
+
+    def __init__(self, cache=None, key: Optional[str] = None):
+        self.cache = cache
+        self.key = key
+        self.records: Dict[str, dict] = {}
+        self.codes: Dict[str, object] = {}
+        self._loaded = False
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if self.cache is None or self.key is None:
+            return
+        payload = self.cache.get_codegen(self.key)
+        if payload:
+            for name, record in payload.get("functions", {}).items():
+                self.records.setdefault(name, record)
+
+    def lookup(self, name: str) -> Optional[dict]:
+        self._load()
+        return self.records.get(name)
+
+    def forget(self, name: str) -> None:
+        self._load()
+        self.records.pop(name, None)
+        self.codes.pop(name, None)
+
+    def record(self, name: str, status: str, reason: Optional[str] = None,
+               source: Optional[str] = None) -> None:
+        self._load()
+        self.records[name] = {"status": status, "reason": reason,
+                              "source": source}
+        if self.cache is not None and self.key is not None:
+            self.cache.put_codegen(self.key, {
+                "version": CODEGEN_VERSION,
+                "functions": self.records,
+            })
+
+    def statuses(self) -> Dict[str, dict]:
+        """name -> {status, reason} for everything decided so far."""
+        self._load()
+        return {name: {"status": r["status"], "reason": r["reason"]}
+                for name, r in self.records.items()}
+
+
+class JitEngine:
+    """Per-interpreter jit front door: ``entry(func)`` returns the
+    specialized callable, or None when the function fell back."""
+
+    def __init__(self, interp, store: Optional[CodegenStore] = None):
+        self.interp = interp
+        self.store = store if store is not None else CodegenStore()
+        self._entries: Dict[int, Optional[object]] = {}
+
+    def entry(self, func: Function):
+        cached = self._entries.get(id(func), self)
+        if cached is not self:
+            return cached
+        tracer = self.interp.tracer
+        if tracer is not None:
+            with tracer.span(f"codegen:{func.name}",
+                             cat=CAT_COMPILE) as span:
+                entry, status, reason, was_cached = \
+                    self._materialize(func)
+                span.args["cached"] = was_cached
+                span.args["status"] = status
+                if reason:
+                    span.args["reason"] = reason
+        else:
+            entry, status, reason, was_cached = self._materialize(func)
+        metrics = self.interp.metrics
+        if metrics is not None:
+            if status == "jit":
+                metrics.inc("codegen.functions.jit")
+                metrics.inc(f"codegen.fn.{func.name}.jit")
+            else:
+                slug = (reason or "unknown").replace(" ", "-")
+                metrics.inc("codegen.functions.fallback")
+                metrics.inc(f"codegen.fn.{func.name}.fallback.{slug}")
+        self._entries[id(func)] = entry
+        return entry
+
+    def _materialize(self, func: Function):
+        """-> (entry | None, status, reason, cached)."""
+        interp = self.interp
+        metrics = interp.metrics
+        store = self.store
+        name = func.name
+        record = store.lookup(name)
+        fresh = record is None
+        if fresh:
+            t0 = time.perf_counter()
+            try:
+                source = FunctionEmitter(interp, func).emit()
+            except _Unsupported as e:
+                if metrics is not None:
+                    metrics.observe("codegen.emit_seconds",
+                                    time.perf_counter() - t0)
+                store.record(name, "fallback", reason=str(e))
+                return None, "fallback", str(e), False
+            if metrics is not None:
+                metrics.observe("codegen.emit_seconds",
+                                time.perf_counter() - t0)
+            store.record(name, "jit", source=source)
+            record = store.lookup(name)
+        elif record["status"] == "fallback":
+            return None, "fallback", record.get("reason"), True
+        source = record.get("source")
+        if not source:
+            store.forget(name)
+            if fresh:
+                return None, "fallback", "empty source", False
+            return self._materialize(func)
+        code = store.codes.get(name)
+        if code is None:
+            t0 = time.perf_counter()
+            try:
+                code = compile(source, f"<vpjit:{name}>", "exec")
+            except SyntaxError:
+                # A stale or corrupt sidecar: drop it and re-emit once.
+                store.forget(name)
+                if fresh:
+                    return None, "fallback", "compile error", False
+                return self._materialize(func)
+            if metrics is not None:
+                metrics.observe("codegen.compile_seconds",
+                                time.perf_counter() - t0)
+            store.codes[name] = code
+        namespace: Dict[str, object] = {}
+        exec(code, namespace)
+        try:
+            entry = namespace["_make"](JitRuntime(interp, func))
+        except Exception as e:
+            # Bind-time resolution failed (e.g. an invalid constant):
+            # the closure engine reproduces the error at execution.
+            return (None, "fallback",
+                    f"bind failed: {type(e).__name__}", not fresh)
+        return entry, "jit", None, not fresh

@@ -43,11 +43,30 @@ from .cache import CacheStats, CompileCache, as_compile_cache, \
 
 BACKENDS = ("none", "mpfr", "boost", "unum")
 
+#: Execution engines, fastest first (see README "Execution engines").
+ENGINES = ("jit", "fast", "unfused", "legacy")
+
 __all__ = [
     "BACKENDS", "CacheStats", "CompileCache", "CompileOptions",
-    "CompiledProgram", "CompilerDriver", "as_compile_cache",
-    "compile_source", "default_cache_dir",
+    "CompiledProgram", "CompilerDriver", "ENGINES", "as_compile_cache",
+    "compile_source", "default_cache_dir", "resolve_engine",
 ]
+
+
+def resolve_engine(engine: Optional[str], backend: str) -> str:
+    """Validate / default the execution engine selection.
+
+    ``None`` picks the per-backend default: the specializing ``jit``
+    codegen engine for the mpfr backend (its lowered modules are where
+    the emitted straight-line code pays off most), the fused closure
+    tables (``fast``) everywhere else.
+    """
+    if engine is None:
+        return "jit" if backend == "mpfr" else "fast"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"choose from {ENGINES}")
+    return engine
 
 
 @dataclass
@@ -82,6 +101,44 @@ class CompiledProgram:
         self.tiled_nests = tiled_nests
         #: Wall-clock seconds per middle-end pass / backend lowering.
         self.pass_timings: dict = pass_timings or {}
+        #: Jit-engine emitted-source store (set by the driver when the
+        #: program came through a CompileCache; else created lazily).
+        self._codegen_store = None
+        #: Engine the driver was configured for; ``run()`` falls back
+        #: to it when neither ``engine`` nor ``dispatch`` is passed.
+        self._default_engine: Optional[str] = None
+
+    def __getstate__(self):
+        # The codegen store holds a live CompileCache reference; the
+        # pickled program must stand alone (it *is* a cache entry).
+        state = dict(self.__dict__)
+        state["_codegen_store"] = None
+        return state
+
+    # ------------------------------------------------------------ #
+
+    def _resolve_mode(self, dispatch: Optional[str],
+                      engine: Optional[str]) -> str:
+        """``engine`` wins over the legacy ``dispatch`` alias; ``None``
+        for both picks the driver's engine, then the backend default
+        (jit for mpfr)."""
+        mode = engine if engine is not None else dispatch
+        if mode is None:
+            mode = self._default_engine
+        if mode is None:
+            return resolve_engine(None, self.options.backend)
+        return mode
+
+    def _codegen_store_for(self, mode: str):
+        if mode != "jit":
+            return None
+        store = self._codegen_store
+        if store is None:
+            from ..codegen.pyjit import CodegenStore
+
+            store = CodegenStore()
+            self._codegen_store = store
+        return store
 
     # ------------------------------------------------------------ #
 
@@ -95,16 +152,22 @@ class CompiledProgram:
 
     def run(self, name: str, args: Optional[List[object]] = None,
             cache: bool = True, max_steps: int = 500_000_000,
-            coprocessor=None, costs=None, dispatch: str = "fast",
+            coprocessor=None, costs=None,
+            dispatch: Optional[str] = None,
             profile: bool = False,
-            pool: Optional[bool] = None) -> ExecutionResult:
+            pool: Optional[bool] = None,
+            engine: Optional[str] = None) -> ExecutionResult:
         """Execute a function; returns value + CostReport + stdout.
 
         ``costs`` selects a CycleCosts profile (default: Xeon-calibrated;
         pass ``ROCKET_CYCLE_COSTS`` for the Fig. 2 FPGA baseline).
-        ``dispatch``/``profile``/``pool`` configure the interpreter's
-        fast path, observability layer, and MPFR object pool (``pool``
-        defaults per backend: on except for Boost)."""
+        ``engine`` picks the execution engine (:data:`ENGINES`;
+        ``dispatch`` is the pre-engine spelling of the same knob and
+        still works; ``None`` for both means the backend default --
+        the specializing jit for mpfr, fused closures otherwise).
+        ``profile``/``pool`` configure the interpreter's observability
+        layer and MPFR object pool (``pool`` defaults per backend: on
+        except for Boost)."""
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
         tracer = current_tracer()
@@ -132,10 +195,12 @@ class CompiledProgram:
             if registry is not None:
                 absorb_report(registry, report)
             return result
+        mode = self._resolve_mode(dispatch, engine)
         interpreter = Interpreter(self.module, accounting=accounting,
-                                  max_steps=max_steps, dispatch=dispatch,
+                                  max_steps=max_steps, dispatch=mode,
                                   profile=profile,
-                                  mpfr_pool=self._pool_default(pool))
+                                  mpfr_pool=self._pool_default(pool),
+                                  codegen_store=self._codegen_store_for(mode))
         try:
             result = interpreter.run(name, args)
         finally:
@@ -153,15 +218,18 @@ class CompiledProgram:
 
     def interpreter(self, cache: bool = True,
                     max_steps: int = 500_000_000, costs=None,
-                    dispatch: str = "fast", profile: bool = False,
-                    pool: Optional[bool] = None) -> Interpreter:
+                    dispatch: Optional[str] = None, profile: bool = False,
+                    pool: Optional[bool] = None,
+                    engine: Optional[str] = None) -> Interpreter:
         """A fresh interpreter over the compiled module (mpfr/boost/none)."""
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
+        mode = self._resolve_mode(dispatch, engine)
         return Interpreter(self.module, accounting=accounting,
-                           max_steps=max_steps, dispatch=dispatch,
+                           max_steps=max_steps, dispatch=mode,
                            profile=profile,
-                           mpfr_pool=self._pool_default(pool))
+                           mpfr_pool=self._pool_default(pool),
+                           codegen_store=self._codegen_store_for(mode))
 
     def machine(self, cache: bool = True, coprocessor=None,
                 max_steps: int = 500_000_000, costs=None):
@@ -186,13 +254,17 @@ class CompilerDriver:
     """
 
     def __init__(self, backend: str = "mpfr", opt_level: int = 3,
-                 polly: bool = False, cache=None, **kwargs):
+                 polly: bool = False, cache=None, engine=None, **kwargs):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {BACKENDS}")
         self.options = CompileOptions(backend=backend, opt_level=opt_level,
                                       polly=polly, **kwargs)
         self.cache = as_compile_cache(cache)
+        #: Engine the compiled programs will run under; part of the
+        #: cache fingerprint (not a CompileOptions field: it changes
+        #: nothing about the IR, only how it is executed).
+        self.engine = resolve_engine(engine, backend)
 
     def compile(self, source: str, name: str = "module") -> CompiledProgram:
         tracer = current_tracer()
@@ -202,12 +274,13 @@ class CompilerDriver:
         cache = self.cache
         if cache is None:
             if tracer is None:
-                return self._compile(source, name)
+                return self._finish(self._compile(source, name))
             with tracer.span(f"compile:{name}", cat=CAT_COMPILE,
                              args={"backend": self.options.backend,
                                    "cached": False}):
-                return self._compile(source, name)
-        key = cache.fingerprint(source, self.options, name)
+                return self._finish(self._compile(source, name))
+        key = cache.fingerprint(source, self.options, name,
+                                engine=self.engine)
         if tracer is None:
             program = cache.get(key)
             if program is None:
@@ -216,7 +289,7 @@ class CompilerDriver:
             else:
                 if registry is not None:
                     registry.inc("compile.cache_hits")
-            return program
+            return self._finish(program, key)
         with tracer.span(f"compile:{name}", cat=CAT_COMPILE,
                          args={"backend": self.options.backend}) as span:
             with tracer.span("cache.lookup", cat=CAT_CACHE) as lookup:
@@ -229,6 +302,18 @@ class CompilerDriver:
             else:
                 if registry is not None:
                     registry.inc("compile.cache_hits")
+        return self._finish(program, key)
+
+    def _finish(self, program: CompiledProgram,
+                key: Optional[str] = None) -> CompiledProgram:
+        """Attach driver-side execution state to a (possibly cached)
+        program: the default engine and -- in jit mode with a cache --
+        the emitted-source store persisting next to the pickle."""
+        program._default_engine = self.engine
+        if self.engine == "jit" and key is not None:
+            from ..codegen.pyjit import CodegenStore
+
+            program._codegen_store = CodegenStore(self.cache, key)
         return program
 
     def _compile(self, source: str, name: str = "module") -> CompiledProgram:

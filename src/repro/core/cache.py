@@ -29,6 +29,7 @@ or stale-format entries are treated as misses and deleted best-effort.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import sys
@@ -38,11 +39,15 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Optional
 
+from ..codegen import CODEGEN_VERSION
 from ..observability import current_metrics
 
 #: Bump when the pickle layout of CompiledProgram/Module changes in a
-#: way that should invalidate existing caches.
-FORMAT_VERSION = 1
+#: way that should invalidate existing caches.  v2: the fingerprint
+#: gained the execution engine and codegen version (programs built for
+#: one engine must never replay under another), and entries grew
+#: optional ``.vpcgen`` codegen sidecars.
+FORMAT_VERSION = 2
 
 #: Environment override for the default on-disk location.
 CACHE_DIR_ENV = "VPFLOAT_CACHE_DIR"
@@ -99,14 +104,23 @@ class CompileCache:
     # ------------------------------------------------------------ #
 
     @staticmethod
-    def fingerprint(source: str, options, name: str = "module") -> str:
-        """Stable hex digest over everything that affects compilation."""
+    def fingerprint(source: str, options, name: str = "module",
+                    engine: Optional[str] = None) -> str:
+        """Stable hex digest over everything that affects compilation.
+
+        ``engine`` is the execution engine the program is being built
+        for; together with the codegen format version it keeps cached
+        programs (and their codegen sidecars) from ever being replayed
+        under a different engine or a stale emitted-source format.
+        """
         h = hashlib.sha256()
         h.update(b"vpfloat-compile-cache\0")
         h.update(f"format={FORMAT_VERSION}\0".encode())
         h.update(f"python={sys.version_info[0]}.{sys.version_info[1]}\0"
                  .encode())
         h.update(f"name={name}\0".encode())
+        h.update(f"engine={engine!r}\0".encode())
+        h.update(f"codegen={CODEGEN_VERSION}\0".encode())
         for f in sorted(fields(options), key=lambda f: f.name):
             value = getattr(options, f.name)
             h.update(f"opt:{f.name}={value!r}\0".encode())
@@ -154,11 +168,72 @@ class CompileCache:
         self._memory.clear()
         if self.directory is None or not self.directory.is_dir():
             return
-        for entry in self.directory.glob("*.vpc"):
+        for pattern in ("*.vpc", "*.vpcgen"):
+            for entry in self.directory.glob(pattern):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------ #
+    # Codegen sidecars
+    # ------------------------------------------------------------ #
+
+    def get_codegen(self, key: str) -> Optional[dict]:
+        """The jit engine's emitted-source sidecar for ``key``, or None.
+
+        The sidecar lives next to the pickled program as
+        ``<key>.vpcgen`` (JSON: per-function status, fallback reason,
+        and emitted Python source).  Unreadable or version-mismatched
+        sidecars are unlinked and treated as misses, mirroring the
+        pickle tier's stale-format handling.
+        """
+        if self.directory is None:
+            return None
+        path = self.directory / f"{key}.vpcgen"
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._count_error()
             try:
-                entry.unlink()
+                path.unlink()
             except OSError:
                 pass
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CODEGEN_VERSION):
+            self._count_error()
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return payload
+
+    def put_codegen(self, key: str, payload: dict) -> None:
+        """Atomically persist the codegen sidecar for ``key``."""
+        if self.directory is None:
+            return
+        path = self.directory / f"{key}.vpcgen"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, temp = tempfile.mkstemp(dir=str(path.parent),
+                                        suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(temp, path)
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self._count_error()
 
     def __len__(self) -> int:
         return len(self._memory)

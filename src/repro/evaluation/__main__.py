@@ -13,6 +13,7 @@ import argparse
 import os
 import sys
 
+from ..core import ENGINES
 from ..observability import telemetry_session
 from . import fig1, fig2, fig3, table1, table2, table3
 
@@ -27,9 +28,11 @@ def _table1_main(args):
         return table1.main(jobs=args.jobs, cache_dir=args.cache_dir,
                            compile_cache=args.compile_cache,
                            kernels=QUICK_TABLE1_KERNELS,
-                           datasets=QUICK_TABLE1_DATASETS)
+                           datasets=QUICK_TABLE1_DATASETS,
+                           engine=args.engine)
     return table1.main(jobs=args.jobs, cache_dir=args.cache_dir,
-                       compile_cache=args.compile_cache)
+                       compile_cache=args.compile_cache,
+                       engine=args.engine)
 
 
 EXPERIMENTS = {
@@ -39,10 +42,12 @@ EXPERIMENTS = {
     "fig1": lambda args: fig1.main(dataset=args.dataset,
                                    raja_n=args.raja_n, jobs=args.jobs,
                                    cache_dir=args.cache_dir,
-                                   compile_cache=args.compile_cache),
+                                   compile_cache=args.compile_cache,
+                                   engine=args.engine),
     "fig2": lambda args: fig2.main(dataset=args.dataset, jobs=args.jobs,
                                    cache_dir=args.cache_dir,
-                                   compile_cache=args.compile_cache),
+                                   compile_cache=args.compile_cache,
+                                   engine=args.engine),
     "fig3": lambda args: fig3.main(n=args.cg_n, jobs=args.jobs),
 }
 
@@ -76,6 +81,10 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", "-j", type=int, default=1,
                         help="worker processes for the sweep grids "
                              "(default: 1 = serial)")
+    parser.add_argument("--engine", choices=ENGINES, default=None,
+                        help="execution engine for every sweep point "
+                             "(default: per-backend -- 'jit' for mpfr, "
+                             "else 'fast'); worker shards inherit it")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent compile-cache directory "
                              "(default: $VPFLOAT_CACHE_DIR or "

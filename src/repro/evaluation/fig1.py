@@ -60,20 +60,24 @@ class Fig1Point:
 
 
 def _polybench_point(kernel: str, n: int, prec: int, with_polly: bool,
-                     max_steps: int) -> Fig1Point:
+                     max_steps: int, engine=None) -> Fig1Point:
     ftype = f"vpfloat<mpfr, 16, {prec}>"
     vp = run_kernel(kernel, ftype, n, backend="mpfr",
-                    read_outputs=False, max_steps=max_steps)
+                    read_outputs=False, max_steps=max_steps,
+                    engine=engine)
     boost = run_kernel(kernel, ftype, n, backend="boost",
-                       read_outputs=False, max_steps=max_steps)
+                       read_outputs=False, max_steps=max_steps,
+                       engine=engine)
     vp_polly = boost_polly = None
     if with_polly:
         vp_polly = run_kernel(kernel, ftype, n, backend="mpfr",
                               polly=True, read_outputs=False,
-                              max_steps=max_steps).report.cycles
+                              max_steps=max_steps,
+                              engine=engine).report.cycles
         boost_polly = run_kernel(kernel, ftype, n, backend="boost",
                                  polly=True, read_outputs=False,
-                                 max_steps=max_steps).report.cycles
+                                 max_steps=max_steps,
+                                 engine=engine).report.cycles
     return Fig1Point(kernel, prec, vp.report.cycles,
                      boost.report.cycles, vp_polly, boost_polly)
 
@@ -83,12 +87,12 @@ def run_fig1_polybench(kernels: Sequence[str] = FIG1_KERNELS,
                        precisions: Sequence[int] = PRECISIONS,
                        with_polly: bool = True,
                        max_steps: int = 2_000_000_000, jobs: int = 1,
-                       cache_dir=None,
-                       compile_cache: bool = True) -> List[Fig1Point]:
+                       cache_dir=None, compile_cache: bool = True,
+                       engine=None) -> List[Fig1Point]:
     from .parallel import parallel_map
 
     tasks = [(kernel, KERNELS[kernel].size_for(dataset), prec,
-              with_polly, max_steps)
+              with_polly, max_steps, engine)
              for kernel in kernels for prec in precisions]
     return parallel_map(_polybench_point, tasks, jobs=jobs,
                         cache_dir=cache_dir, compile_cache=compile_cache)
@@ -110,7 +114,7 @@ class RajaPoint:
 
 def _raja_point(kernel: str, variant: str, kwargs: dict, openmp: bool,
                 n: int, precision: int, threads: int,
-                max_steps: int) -> RajaPoint:
+                max_steps: int, engine=None) -> RajaPoint:
     from .harness import get_compile_cache
 
     ftype = f"vpfloat<mpfr, 16, {precision}>"
@@ -119,7 +123,7 @@ def _raja_point(kernel: str, variant: str, kwargs: dict, openmp: bool,
     for backend in ("mpfr", "boost"):
         program = CompilerDriver(backend=backend,
                                  cache=get_compile_cache(),
-                                 **kwargs).compile(source)
+                                 engine=engine, **kwargs).compile(source)
         result = program.run("run", [n], max_steps=max_steps)
         if openmp:
             # RAJAPerf times the kernel region itself.
@@ -135,13 +139,14 @@ def run_fig1_rajaperf(kernels: Optional[Sequence[str]] = None,
                       precision: int = 256,
                       threads: int = PAPER_THREADS,
                       max_steps: int = 2_000_000_000, jobs: int = 1,
-                      cache_dir=None,
-                      compile_cache: bool = True) -> List[RajaPoint]:
+                      cache_dir=None, compile_cache: bool = True,
+                      engine=None) -> List[RajaPoint]:
     from .parallel import parallel_map
 
     kernels = list(kernels or RAJA_KERNELS)
     tasks = [
-        (kernel, variant, kwargs, openmp, n, precision, threads, max_steps)
+        (kernel, variant, kwargs, openmp, n, precision, threads,
+         max_steps, engine)
         for openmp, variant_map in ((False, VARIANTS), (True, OMP_VARIANTS))
         for variant, kwargs in variant_map.items()
         for kernel in kernels
@@ -197,12 +202,14 @@ def format_fig1(polybench: List[Fig1Point],
 
 
 def main(dataset: str = "mini", raja_n: int = 256, jobs: int = 1,
-         cache_dir=None, compile_cache: bool = True) -> str:
+         cache_dir=None, compile_cache: bool = True, engine=None) -> str:
     polybench = run_fig1_polybench(dataset=dataset, jobs=jobs,
                                    cache_dir=cache_dir,
-                                   compile_cache=compile_cache)
+                                   compile_cache=compile_cache,
+                                   engine=engine)
     rajaperf = run_fig1_rajaperf(n=raja_n, jobs=jobs, cache_dir=cache_dir,
-                                 compile_cache=compile_cache)
+                                 compile_cache=compile_cache,
+                                 engine=engine)
     text = format_fig1(polybench, rajaperf)
     print(text)
     return text

@@ -44,7 +44,7 @@ class Fig2Point:
 
 
 def _fig2_point(kernel: str, n: int, polly: bool,
-                max_steps: int) -> Fig2Point:
+                max_steps: int, engine=None) -> Fig2Point:
     # The software baseline executes on the in-order Rocket core
     # of the FPGA platform (paper: "All benchmarks including
     # baseline MPFR implementations have been compiled to the
@@ -53,7 +53,7 @@ def _fig2_point(kernel: str, n: int, polly: bool,
     mpfr = run_kernel(kernel, mpfr_type, n, backend="mpfr",
                       polly=polly, read_outputs=False,
                       max_steps=max_steps,
-                      costs=ROCKET_CYCLE_COSTS)
+                      costs=ROCKET_CYCLE_COSTS, engine=engine)
     unum = run_kernel(kernel, UNUM_TYPE, n, backend="unum",
                       polly=polly, read_outputs=False,
                       max_steps=max_steps)
@@ -65,13 +65,14 @@ def run_fig2(kernels: Sequence[str] = FIG2_KERNELS,
              dataset: str = "mini",
              model_erratum: bool = True,
              max_steps: int = 2_000_000_000, jobs: int = 1,
-             cache_dir=None,
-             compile_cache: bool = True) -> List[Fig2Point]:
+             cache_dir=None, compile_cache: bool = True,
+             engine=None) -> List[Fig2Point]:
     from .parallel import parallel_map
 
     grid = [(kernel, polly) for kernel in kernels
             for polly in (False, True)]
-    tasks = [(kernel, KERNELS[kernel].size_for(dataset), polly, max_steps)
+    tasks = [(kernel, KERNELS[kernel].size_for(dataset), polly,
+              max_steps, engine)
              for kernel, polly in grid
              if not (model_erratum and (kernel, polly) in FIG2_HW_FAILURES)]
     computed = iter(parallel_map(_fig2_point, tasks, jobs=jobs,
@@ -113,9 +114,10 @@ def format_fig2(points: List[Fig2Point]) -> str:
 
 
 def main(dataset: str = "mini", jobs: int = 1, cache_dir=None,
-         compile_cache: bool = True) -> str:
+         compile_cache: bool = True, engine=None) -> str:
     text = format_fig2(run_fig2(dataset=dataset, jobs=jobs,
                                 cache_dir=cache_dir,
-                                compile_cache=compile_cache))
+                                compile_cache=compile_cache,
+                                engine=engine))
     print(text)
     return text

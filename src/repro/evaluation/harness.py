@@ -135,15 +135,17 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
                read_outputs: bool = True,
                coprocessor: Optional[UnumCoprocessor] = None,
                max_steps: int = 500_000_000, costs=None,
-               dispatch: str = "fast", profile: bool = False,
+               dispatch: Optional[str] = None, profile: bool = False,
                pool: Optional[bool] = None,
-               compile_cache=_UNSET,
+               compile_cache=_UNSET, engine: Optional[str] = None,
                **driver_kwargs) -> RunOutcome:
     """Compile + execute one PolyBench kernel; extract its outputs.
 
-    ``dispatch``/``profile``/``pool`` select the interpreter execution
-    mode and observability layer (see :meth:`CompiledProgram.run`); they
-    are ignored by the unum machine backend.  ``compile_cache`` is a
+    ``engine`` selects the execution engine (``dispatch`` is the older
+    spelling of the same knob; ``None`` for both picks the backend
+    default), ``profile``/``pool`` the observability layer and MPFR
+    pool (see :meth:`CompiledProgram.run`); they are ignored by the
+    unum machine backend.  ``compile_cache`` is a
     :class:`~repro.core.CompileCache` (or None to force a fresh
     compile); left unset, the process default installed via
     :func:`set_compile_cache` applies."""
@@ -155,8 +157,11 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
         registry.inc(f"eval.backend.{backend}")
     if compile_cache is _UNSET:
         compile_cache = _COMPILE_CACHE
+    if engine is None:
+        engine = dispatch
     driver = CompilerDriver(backend=backend, polly=polly,
-                            cache=compile_cache, **driver_kwargs)
+                            cache=compile_cache, engine=engine,
+                            **driver_kwargs)
     program = driver.compile(source, name=f"{kernel}-{backend}")
     kind, params = parse_ftype(ftype)
 
@@ -183,7 +188,7 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
                           pass_timings=program.pass_timings)
 
     result = program.run("run", [n], cache=cache, max_steps=max_steps,
-                         costs=costs, dispatch=dispatch, profile=profile,
+                         costs=costs, engine=engine, profile=profile,
                          pool=pool)
     outputs = []
     if read_outputs:

@@ -157,6 +157,39 @@ def render_trace_summary(data: dict) -> str:
     return "\n".join(lines)
 
 
+def render_codegen_summary(data: dict) -> str:
+    """Per-function jit-codegen status, derived from the
+    ``codegen.fn.<name>.jit`` / ``codegen.fn.<name>.fallback.<reason>``
+    counters. Empty string when the run never touched the jit engine."""
+    counters = data.get("counters", {})
+    rows = {}
+    for name, value in counters.items():
+        if not name.startswith("codegen.fn."):
+            continue
+        parts = name[len("codegen.fn."):].split(".")
+        if len(parts) < 2:
+            continue
+        func = parts[0]
+        if parts[1] == "jit":
+            rows[func] = ("jit", int(value), "")
+        elif parts[1] == "fallback":
+            reason = ".".join(parts[2:]) or "?"
+            rows[func] = ("fallback", int(value), reason)
+    if not rows:
+        return ""
+    jitted = sum(1 for status, _, _ in rows.values() if status == "jit")
+    lines = [f"codegen (jit engine): {len(rows)} function(s), "
+             f"{jitted} specialized, {len(rows) - jitted} fell back"]
+    header = f"  {'function':<24} {'status':<10} {'calls':>7}  reason"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for func in sorted(rows, key=lambda f: (rows[f][0] != "fallback", f)):
+        status, calls, reason = rows[func]
+        lines.append(f"  {func:<24} {status:<10} {calls:>7}  "
+                     f"{reason}".rstrip())
+    return "\n".join(lines)
+
+
 def _load(path: str):
     with open(path) as handle:
         return json.load(handle)
@@ -225,6 +258,10 @@ def _main(argv=None) -> int:
             print(render_trace_summary(data))
         else:
             print(MetricsRegistry.from_dict(data).render())
+            codegen = render_codegen_summary(data)
+            if codegen:
+                print()
+                print(codegen)
     return status
 
 

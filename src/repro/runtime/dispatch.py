@@ -40,6 +40,12 @@ the identical cycle categories in the identical order as the unfused
 sequence, so the cost model stays bit-for-bit.  Anything the compiler
 cannot prove static falls back to the interpreter's legacy helper for
 that one instruction.
+
+This module is also the per-function fallback target of the ``"jit"``
+engine (:mod:`repro.codegen.pyjit`): a function the source generator
+cannot fully specialize (dynamic vpfloat attributes, posit/unum
+formats, variadic builtins) executes through these closure tables
+instead, with identical observable behavior.
 """
 
 from __future__ import annotations

@@ -138,13 +138,16 @@ class Frame:
 class Interpreter:
     """Executes one module.
 
-    ``dispatch`` selects the execution engine: ``"fast"`` (default)
-    compiles each function's blocks to closure tables on first call
-    (:mod:`repro.runtime.dispatch`) with superinstruction fusion of
-    adjacent load+arith / arith+store / cmp+branch pairs; ``"unfused"``
-    uses the same closure tables without fusion; ``"legacy"`` walks the
-    original per-instruction isinstance chain.  All three charge
-    identical cycles.
+    ``dispatch`` selects the execution engine: ``"jit"`` compiles each
+    IR function to straight-line Python source on first call
+    (:mod:`repro.codegen.pyjit`), with per-function fallback to the
+    fused closure tables for anything the emitter cannot prove static;
+    ``"fast"`` (default) compiles each function's blocks to closure
+    tables on first call (:mod:`repro.runtime.dispatch`) with
+    superinstruction fusion of adjacent load+arith / arith+store /
+    cmp+branch pairs; ``"unfused"`` uses the same closure tables
+    without fusion; ``"legacy"`` walks the original per-instruction
+    isinstance chain.  All four charge identical cycles.
 
     ``mpfr_pool`` enables the runtime free-list in the backing
     :class:`~repro.bigfloat.MpfrLibrary`: ``mpfr_clear`` parks handles
@@ -164,8 +167,9 @@ class Interpreter:
                  dispatch: str = "fast",
                  profile: bool = False,
                  mpfr_pool: bool = False,
-                 pool_limit: int = 1024):
-        if dispatch not in ("fast", "unfused", "legacy"):
+                 pool_limit: int = 1024,
+                 codegen_store=None):
+        if dispatch not in ("jit", "fast", "unfused", "legacy"):
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.module = module
         self.accounting = accounting or CostAccounting(cache=None)
@@ -198,6 +202,14 @@ class Interpreter:
         self._mpfr_cost_cache: Dict[tuple, int] = {}
         self._compiled_functions: Dict[int, CompiledFunction] = {}
         self._compiler: Optional[FunctionCompiler] = None
+        #: Shared codegen artifact store (jit engine): lets warm runs of
+        #: a cached program skip re-emission.  Lazily created when the
+        #: jit dispatch mode first materializes a function.
+        self._codegen_store = codegen_store
+        self._jit_engine = None
+        #: Hot-block counts dict installed by the traced call path for
+        #: the duration of one jit-engine call; None when untraced.
+        self._block_counts: Optional[Dict[str, int]] = None
         self._install_builtins()
         self._init_globals()
 
@@ -373,6 +385,10 @@ class Interpreter:
             )
         if self.tracer is not None:
             return self._call_function_traced(func, args)
+        if self.dispatch == "jit" and self.profile is None:
+            entry = self._jit_entry(func)
+            if entry is not None:
+                return entry(*args)
         if self.dispatch != "legacy":
             return self._call_compiled(func, args)
         return self._call_legacy(func, args, None)
@@ -418,7 +434,17 @@ class Interpreter:
         instructions0 = report.instructions
         counts: Dict[str, int] = {}
         with tracer.span(f"call:{func.name}", cat=CAT_RUNTIME) as span:
-            if self.dispatch != "legacy":
+            entry = None
+            if self.dispatch == "jit" and self.profile is None:
+                entry = self._jit_entry(func)
+            if entry is not None:
+                previous = self._block_counts
+                self._block_counts = counts
+                try:
+                    value = entry(*args)
+                finally:
+                    self._block_counts = previous
+            elif self.dispatch != "legacy":
                 value = self._call_compiled_counting(func, args, counts)
             else:
                 value = self._call_legacy(func, args, counts)
@@ -482,11 +508,24 @@ class Interpreter:
 
     def _compile_function(self, func: Function) -> CompiledFunction:
         if self._compiler is None:
+            # jit fallback functions execute on the fused tables: the
+            # closure engine's fastest configuration.
             self._compiler = FunctionCompiler(
-                self, fuse=(self.dispatch == "fast"))
+                self, fuse=(self.dispatch in ("fast", "jit")))
         compiled = self._compiler.compile(func)
         self._compiled_functions[id(func)] = compiled
         return compiled
+
+    def _jit_entry(self, func: Function):
+        """The specialized callable for ``func``, or None when the
+        emitter fell back (closure tables take over)."""
+        engine = self._jit_engine
+        if engine is None:
+            from ..codegen.pyjit import JitEngine
+
+            engine = JitEngine(self, self._codegen_store)
+            self._jit_engine = engine
+        return engine.entry(func)
 
     def _call_compiled_counting(self, func: Function, args: List[object],
                                 block_counts: Dict[str, int]) -> object:

@@ -1,0 +1,221 @@
+"""Differential tests for the specializing jit codegen engine.
+
+Every PolyBench and RAJAPerf kernel is executed under both the ``jit``
+engine (compiled Python source, :mod:`repro.codegen.pyjit`) and the
+``legacy`` reference walker; outputs must be bit-identical and the
+modeled cycle reports identical field by field.  Dynamic-precision
+kernels exercise the per-function fallback path, and the CompileCache
+round-trip checks that warm runs skip re-emission.
+"""
+
+import pytest
+
+from repro.codegen.pyjit import CodegenStore, emit_function_source
+from repro.core import CompileCache, CompilerDriver, compile_source
+from repro.evaluation.harness import _read_interpreter_outputs
+from repro.observability import telemetry_session
+from repro.workloads import RAJA_KERNELS, raja_source
+from repro.workloads.polybench import KERNELS, source_for
+
+POLYBENCH_FTYPE = "vpfloat<mpfr, 16, 128>"
+RAJA_FTYPE = "vpfloat<mpfr, 16, 96>"
+RAJA_N = 20
+
+
+def _report_fields(report):
+    return {
+        "cycles": report.cycles,
+        "instructions": report.instructions,
+        "mpfr_calls": report.mpfr_calls,
+        "heap_allocations": report.heap_allocations,
+        "by_category": dict(report.by_category),
+    }
+
+
+def _assert_identical(jit, legacy):
+    assert _report_fields(jit.report) == _report_fields(legacy.report)
+
+
+class TestPolyBenchDifferential:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_jit_matches_legacy(self, kernel):
+        # One compile, both engines: instruction order out of the -O3
+        # pipeline feeds the cache model, so comparing across separate
+        # compiles would compare two different (equally valid) layouts.
+        spec = KERNELS[kernel]
+        n = spec.size_for("mini")
+        program = compile_source(source_for(kernel, POLYBENCH_FTYPE),
+                                 backend="mpfr")
+        jit = program.run("run", [n], engine="jit")
+        legacy = program.run("run", [n], engine="legacy")
+        assert jit.value == legacy.value
+        jit_out = _read_interpreter_outputs(
+            jit.interpreter, int(jit.value), spec.outputs(n),
+            POLYBENCH_FTYPE, "mpfr")
+        legacy_out = _read_interpreter_outputs(
+            legacy.interpreter, int(legacy.value), spec.outputs(n),
+            POLYBENCH_FTYPE, "mpfr")
+        assert jit_out == legacy_out
+        _assert_identical(jit, legacy)
+
+
+class TestRajaPerfDifferential:
+    @pytest.mark.parametrize("kernel", RAJA_KERNELS)
+    def test_jit_matches_legacy(self, kernel):
+        source = raja_source(kernel, RAJA_FTYPE, openmp=False)
+        program = compile_source(source, backend="mpfr")
+        jit = program.run("run", [RAJA_N], engine="jit")
+        legacy = program.run("run", [RAJA_N], engine="legacy")
+        assert jit.value == legacy.value
+        _assert_identical(jit, legacy)
+
+
+DYNAMIC_PREC_SRC = """
+vpfloat<mpfr, 16, 256> out;
+
+int run(int n) {
+    int p = 64 + n;
+    vpfloat<mpfr, 16, p> acc = 0.0;
+    vpfloat<mpfr, 16, p> step = 1.25;
+    for (int i = 0; i < n; i = i + 1) {
+        acc = acc + step * step;
+    }
+    out = (vpfloat<mpfr, 16, 256>)acc;
+    return n;
+}
+"""
+
+MIXED_SRC = """
+vpfloat<mpfr, 16, 256> out;
+
+vpfloat<mpfr, 16, 256> scale(vpfloat<mpfr, 16, 256> x, int k) {
+    vpfloat<mpfr, 16, 256> y = x;
+    for (int i = 0; i < k; i = i + 1) {
+        y = y * 1.5;
+    }
+    return y;
+}
+
+int dyn(int p, int k) {
+    vpfloat<mpfr, 16, p> acc = 3.25;
+    for (int i = 0; i < k; i = i + 1) {
+        acc = acc / 2.0;
+    }
+    return p;
+}
+
+int run(int n) {
+    out = scale(1.0, n);
+    return dyn(96, n);
+}
+"""
+
+
+class TestDynamicPrecisionFallback:
+    def test_dynamic_kernel_falls_back_bit_identical(self):
+        program = compile_source(DYNAMIC_PREC_SRC, backend="mpfr")
+        jit = program.run("run", [6], engine="jit")
+        legacy = program.run("run", [6], engine="legacy")
+        assert jit.value == legacy.value
+        _assert_identical(jit, legacy)
+        statuses = program._codegen_store.statuses()
+        assert statuses["run"]["status"] == "fallback"
+        assert statuses["run"]["reason"]
+
+    def test_mixed_module_per_function_status(self):
+        # Inlining would fold dyn(96, n) into run and constant-fold the
+        # precision (making everything static); keep the calls to get
+        # one jit and one fallback function in the same module.
+        program = compile_source(MIXED_SRC, backend="mpfr",
+                                 enable_inlining=False)
+        jit = program.run("run", [5], engine="jit")
+        legacy = program.run("run", [5], engine="legacy")
+        assert jit.value == legacy.value
+        _assert_identical(jit, legacy)
+        statuses = program._codegen_store.statuses()
+        # The static functions specialize; the dynamic-precision one
+        # must fall back to the closure-table engine -- per function,
+        # not per module.
+        assert statuses["dyn"]["status"] == "fallback"
+        assert statuses["run"]["status"] == "jit"
+        assert statuses["scale"]["status"] == "jit"
+
+    def test_fallback_metrics_and_reason(self):
+        program = compile_source(DYNAMIC_PREC_SRC, backend="mpfr")
+        with telemetry_session(metrics=True) as (_, registry):
+            program.run("run", [4], engine="jit")
+        assert registry.counters.get("codegen.functions.fallback", 0) >= 1
+        assert any(k.startswith("codegen.fn.run.fallback.")
+                   for k in registry.counters)
+
+    def test_emit_rejects_dynamic_precision(self):
+        program = compile_source(DYNAMIC_PREC_SRC, backend="mpfr")
+        interp = program.interpreter(engine="fast")
+        func = program.module.get_function("run")
+        source, reason = emit_function_source(interp, func)
+        assert source is None
+        assert reason
+
+
+class TestCodegenCacheRoundTrip:
+    def test_warm_run_skips_reemission(self, tmp_path):
+        source = raja_source("DAXPY", RAJA_FTYPE, openmp=False)
+        results = []
+        span_args = []
+        for _ in range(2):
+            with telemetry_session(trace=True) as (tracer, _):
+                driver = CompilerDriver(backend="mpfr",
+                                        cache=str(tmp_path))
+                program = driver.compile(source, "daxpy")
+                results.append(program.run("run", [RAJA_N]))
+            span_args.append([
+                e["args"] for e in tracer.events
+                if e.get("name", "").startswith("codegen:")
+            ])
+        cold, warm = span_args
+        assert cold and not any(a.get("cached") for a in cold)
+        assert warm and all(a.get("cached") for a in warm)
+        assert results[0].value == results[1].value
+        assert results[0].report.cycles == results[1].report.cycles
+        sidecars = list(tmp_path.glob("*.vpcgen"))
+        assert sidecars
+
+    def test_stale_sidecar_version_is_dropped(self, tmp_path):
+        cache = CompileCache(str(tmp_path))
+        cache.put_codegen("k1", {"version": -1, "functions": {}})
+        assert cache.get_codegen("k1") is None
+        assert not list(tmp_path.glob("k1.vpcgen"))
+
+    def test_fingerprint_varies_with_engine(self):
+        options = CompilerDriver(backend="mpfr").options
+        keys = {
+            CompileCache.fingerprint("int run() { return 0; }", options,
+                                     engine=engine)
+            for engine in (None, "jit", "fast", "legacy")
+        }
+        assert len(keys) == 4
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            CompilerDriver(backend="mpfr", engine="fused")
+
+    def test_profile_runs_use_closure_tables(self):
+        # Opcode-level profiling needs per-instruction dispatch; the
+        # jit mode transparently degrades to the fast engine for it.
+        program = compile_source(MIXED_SRC, backend="mpfr")
+        result = program.run("run", [3], engine="jit", profile=True)
+        baseline = program.run("run", [3], engine="legacy")
+        assert result.profile is not None
+        assert result.value == baseline.value
+        assert result.report.cycles == baseline.report.cycles
+
+    def test_in_memory_store_reused_across_runs(self):
+        program = compile_source(MIXED_SRC, backend="mpfr")
+        program.run("run", [3])
+        store = program._codegen_store
+        assert isinstance(store, CodegenStore)
+        program.run("run", [4])
+        assert program._codegen_store is store
+        assert store.statuses()["run"]["status"] == "jit"

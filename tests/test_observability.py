@@ -26,6 +26,7 @@ from repro.observability import (
 from repro.observability.stats import (
     ValidationError,
     main as stats_main,
+    render_codegen_summary,
     render_trace_summary,
     validate_metrics_document,
     validate_trace_document,
@@ -328,3 +329,30 @@ class TestStatsCLI:
         bad.write_text("{\"counters\": 3}")
         assert stats_main(["--validate", str(bad)]) == 1
         assert "INVALID" in capsys.readouterr().err
+
+
+class TestCodegenSummary:
+    def test_renders_per_function_status(self):
+        text = render_codegen_summary({"counters": {
+            "codegen.fn.run.jit": 4,
+            "codegen.fn.scale.jit": 4,
+            "codegen.fn.dyn.fallback.dynamic-vpfloat-call-operand": 4,
+            "codegen.functions.jit": 8,
+        }})
+        assert "3 function(s), 2 specialized, 1 fell back" in text
+        lines = {l.split()[0]: l for l in text.splitlines()[3:]}
+        assert "fallback" in lines["dyn"]
+        assert "dynamic-vpfloat-call-operand" in lines["dyn"]
+        assert "jit" in lines["run"]
+        assert "jit" in lines["scale"]
+
+    def test_empty_without_codegen_counters(self):
+        assert render_codegen_summary({"counters": {"x": 1}}) == ""
+
+    def test_stats_cli_appends_codegen_section(self, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.inc("codegen.fn.run.jit")
+        path = tmp_path / "m.json"
+        reg.save(str(path))
+        assert stats_main([str(path)]) == 0
+        assert "codegen (jit engine)" in capsys.readouterr().out
