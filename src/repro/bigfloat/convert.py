@@ -31,17 +31,19 @@ _DECIMAL_RE = re.compile(
 def from_str(text: str, prec: int, rm: RoundingMode = RNDN) -> BigFloat:
     """Parse a decimal literal into a correctly-rounded BigFloat."""
     stripped = text.strip().lower()
+    # At most one sign character, consumed once; "+-inf"/"--nan" and
+    # friends fall through to the numeric pattern and are rejected.
     sign = 0
-    if stripped.startswith(("+", "-")):
-        if stripped[0] == "-":
-            sign = 1
-    body = stripped.lstrip("+-")
+    body = stripped
+    if body[:1] in ("+", "-"):
+        sign = 1 if body[0] == "-" else 0
+        body = body[1:]
     if body in ("inf", "infinity"):
         return BigFloat.inf(prec, sign)
     if body == "nan":
         return BigFloat.nan(prec)
 
-    match = _DECIMAL_RE.match(text)
+    match = _DECIMAL_RE.match(stripped)
     if not match:
         raise ValueError(f"invalid decimal literal: {text!r}")
     int_part = match.group("int") or ""

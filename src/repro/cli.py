@@ -86,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, help=argparse.SUPPRESS)
     parser.add_argument("--no-pool", action="store_true",
                         help="disable the runtime MPFR object pool")
+    parser.add_argument("--validate", action="store_true",
+                        help="after --run, emit a translation-validation "
+                             "certificate: re-run FUNC on every other "
+                             "execution engine and with the pool off "
+                             "(bit-identical values + engine/pool report "
+                             "invariants), and cross-check -O0 and each "
+                             "-O3 pass switch (bit-identical values); "
+                             "exit 3 if any check fails")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent compile-cache directory (default: "
                              "$VPFLOAT_CACHE_DIR or ~/.cache/vpfloat-repro; "
@@ -230,6 +238,42 @@ def _run(args) -> int:
         if args.profile:
             _print_profile(result, program)
             _print_cache_stats(driver.cache)
+        if args.validate:
+            return _validate(args, source, run_args, driver)
+    return 0
+
+
+def _validate(args, source: str, run_args, driver) -> int:
+    """Emit engine + pass certificates for the function just run."""
+    if args.backend == "unum":
+        print("error: --validate requires an interpreter backend "
+              "(none/mpfr/boost)", file=sys.stderr)
+        return 1
+    from .validation import validate_engines, validate_passes
+
+    options = dict(
+        polly=args.polly,
+        polly_tile=args.polly_tile,
+        contract_fma=args.contract_fma,
+        reuse_objects=not args.no_reuse,
+        specialize_scalars=not args.no_specialize,
+        in_place_stores=not args.no_in_place,
+    )
+    certificates = [
+        validate_engines(source, args.run, run_args,
+                         backend=args.backend, engine=args.engine,
+                         name=args.source, cache=driver.cache,
+                         strict=False, opt_level=args.opt_level,
+                         **options),
+        validate_passes(source, args.run, run_args,
+                        backend=args.backend, engine=args.engine,
+                        name=args.source, cache=driver.cache,
+                        strict=False, **options),
+    ]
+    for certificate in certificates:
+        print(certificate.render())
+    if not all(certificate.passed for certificate in certificates):
+        return 3
     return 0
 
 

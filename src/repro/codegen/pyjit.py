@@ -89,6 +89,10 @@ _SIGNED_CMPS = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
                 "sgt": ">", "sge": ">="}
 _UNSIGNED_CMPS = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}
 
+#: Placeholder line marking an OpenMP region boundary inside a block's
+#: step stream; _emit_block replaces it with the next charge segment.
+_FLUSH_MARKER = "#__vpjit_charge_flush__"
+
 #: MPFR runtime builtins inlined at their call sites (name -> arity).
 _MPFR_INLINE = {
     "mpfr_add": 3, "mpfr_sub": 3, "mpfr_mul": 3, "mpfr_div": 3,
@@ -290,8 +294,13 @@ class FunctionEmitter:
         self._kernel_refs: Dict[Tuple[str, int], str] = {}
         self._mpfr_map_refs: Dict[str, str] = {}
         self._default_refs: Dict[int, str] = {}
-        # Current block accumulators.
+        # Current block accumulators.  Charges are bulk-counted per
+        # block but flushed into *segments* at OpenMP region markers so
+        # parallel-region attribution matches the per-instruction
+        # engines (see _emit_call).
         self._charges: Dict[str, Dict[str, int]] = {}
+        self._mid_flushes: List[Dict[str, Dict[str, int]]] = []
+        self._block_segments: List[Dict[str, Dict[str, int]]] = []
         self._tele_bits: Dict[Tuple[str, int], int] = {}
         self._tele_guard: Dict[int, int] = {}
 
@@ -446,14 +455,16 @@ class FunctionEmitter:
         for bi, block in enumerate(blocks):
             lines = self._emit_block(block, bi, blocks)
             block_chunks.append(lines)
-            for category in sorted(self._charges):
-                terms = []
-                for field in sorted(self._charges[category]):
-                    count = self._charges[category][field]
-                    terms.append(f"_C.{field}" if count == 1
-                                 else f"_C.{field} * {count}")
-                charge_defs.append(f"_q{bi}_{category} = "
-                                   + " + ".join(terms))
+            for seg, charges in enumerate(self._block_segments):
+                prefix = f"_q{bi}" if seg == 0 else f"_q{bi}s{seg}"
+                for category in sorted(charges):
+                    terms = []
+                    for field in sorted(charges[category]):
+                        count = charges[category][field]
+                        terms.append(f"_C.{field}" if count == 1
+                                     else f"_C.{field} * {count}")
+                    charge_defs.append(f"{prefix}_{category} = "
+                                       + " + ".join(terms))
 
         params = ", ".join(f"a{i}" for i in range(len(func.args)))
         out: List[str] = [
@@ -501,6 +512,7 @@ class FunctionEmitter:
 
     def _emit_block(self, block, bi: int, blocks) -> List[str]:
         self._charges = {}
+        self._mid_flushes = []
         self._tele_bits = {}
         self._tele_guard = {}
         body: List = []
@@ -520,6 +532,24 @@ class FunctionEmitter:
             self._emit_step(inst, bi, ii, step_lines)
         term_lines = self._emit_terminator(block, term, bi, blocks)
 
+        # Segment the block's bulk charges at OpenMP region markers:
+        # segment 0 is charged at block entry, segment k right after
+        # the k-th marker call, matching where the per-instruction
+        # engines charge relative to parallel_begin/parallel_end.
+        self._block_segments = self._mid_flushes + [self._charges]
+        if self._mid_flushes:
+            expanded: List[str] = []
+            seg = 0
+            for line in step_lines:
+                if line == _FLUSH_MARKER:
+                    seg += 1
+                    for category in sorted(self._block_segments[seg]):
+                        expanded.append(
+                            f'_chg({category!r}, _q{bi}s{seg}_{category})')
+                else:
+                    expanded.append(line)
+            step_lines = expanded
+
         lines = [
             f"_n = _interp.steps + {count}",
             "_interp.steps = _n",
@@ -527,7 +557,7 @@ class FunctionEmitter:
             "    raise _XLE(_LIMMSG)",
             f"_rep.instructions += {count}",
         ]
-        for category in sorted(self._charges):
+        for category in sorted(self._block_segments[0]):
             lines.append(f'_chg({category!r}, _q{bi}_{category})')
         if self._tele_bits:
             rounding_key = "precision.rounding." + RNDN.value
@@ -932,6 +962,15 @@ class FunctionEmitter:
         handle = self._inst_ref(inst, bi, ii)
         out.append(f"{name} = {handler}([{', '.join(args)}], "
                    f"{handle}, None)")
+        if bname in ("__omp_parallel_begin", "__omp_parallel_end"):
+            # Region boundary: cycles accumulated so far stay in the
+            # current charge segment (emitted before this call); start
+            # a fresh segment emitted right after it, so the cost model
+            # attributes this block's remaining cycles to the correct
+            # side of the parallel region.
+            self._mid_flushes.append(self._charges)
+            self._charges = {}
+            out.append(_FLUSH_MARKER)
 
     # ---- inlined mpfr builtins ----------------------------------- #
     #
@@ -1094,8 +1133,17 @@ class CodegenStore:
             return
         payload = self.cache.get_codegen(self.key)
         if payload:
-            for name, record in payload.get("functions", {}).items():
-                self.records.setdefault(name, record)
+            functions = payload.get("functions", {})
+            if not isinstance(functions, dict):
+                return
+            for name, record in functions.items():
+                # Defence in depth: get_codegen validates sidecar
+                # structure, but a store can also be fed a payload
+                # directly -- never admit a record _materialize would
+                # crash on.
+                if (isinstance(record, dict)
+                        and record.get("status") in ("jit", "fallback")):
+                    self.records.setdefault(name, record)
 
     def lookup(self, name: str) -> Optional[dict]:
         self._load()

@@ -52,6 +52,34 @@ FORMAT_VERSION = 2
 #: Environment override for the default on-disk location.
 CACHE_DIR_ENV = "VPFLOAT_CACHE_DIR"
 
+#: Function-record statuses a ``.vpcgen`` sidecar may carry.
+_CODEGEN_STATUSES = ("jit", "fallback")
+
+
+def _codegen_payload_ok(payload: dict) -> bool:
+    """Structural validity of a ``.vpcgen`` sidecar beyond the version
+    stamp: ``functions`` must map names to records the jit engine can
+    consume (a ``status`` it knows; emitted source, when present, as a
+    string).  Anything else -- a truncated write that still parsed, a
+    hand-edited file, a garbled record -- must read as a cache miss."""
+    functions = payload.get("functions", {})
+    if not isinstance(functions, dict):
+        return False
+    for name, record in functions.items():
+        if not isinstance(name, str) or not isinstance(record, dict):
+            return False
+        if record.get("status") not in _CODEGEN_STATUSES:
+            return False
+        source = record.get("source")
+        if record["status"] == "jit" and not isinstance(source, str):
+            return False
+        if source is not None and not isinstance(source, str):
+            return False
+        reason = record.get("reason")
+        if reason is not None and not isinstance(reason, str):
+            return False
+    return True
+
 
 def default_cache_dir() -> str:
     """``$VPFLOAT_CACHE_DIR`` or ``~/.cache/vpfloat-repro``."""
@@ -184,9 +212,11 @@ class CompileCache:
 
         The sidecar lives next to the pickled program as
         ``<key>.vpcgen`` (JSON: per-function status, fallback reason,
-        and emitted Python source).  Unreadable or version-mismatched
-        sidecars are unlinked and treated as misses, mirroring the
-        pickle tier's stale-format handling.
+        and emitted Python source).  Unreadable, version-mismatched or
+        structurally corrupt sidecars (truncated writes, garbled
+        function records) are unlinked and treated as misses, mirroring
+        the pickle tier's stale-format handling -- a bad sidecar must
+        cost a recompile, never propagate an error into the run.
         """
         if self.directory is None:
             return None
@@ -204,7 +234,8 @@ class CompileCache:
                 pass
             return None
         if (not isinstance(payload, dict)
-                or payload.get("version") != CODEGEN_VERSION):
+                or payload.get("version") != CODEGEN_VERSION
+                or not _codegen_payload_ok(payload)):
             self._count_error()
             try:
                 path.unlink()

@@ -29,10 +29,10 @@ def _table1_main(args):
                            compile_cache=args.compile_cache,
                            kernels=QUICK_TABLE1_KERNELS,
                            datasets=QUICK_TABLE1_DATASETS,
-                           engine=args.engine)
+                           engine=args.engine, validate=args.validate)
     return table1.main(jobs=args.jobs, cache_dir=args.cache_dir,
                        compile_cache=args.compile_cache,
-                       engine=args.engine)
+                       engine=args.engine, validate=args.validate)
 
 
 EXPERIMENTS = {
@@ -43,11 +43,13 @@ EXPERIMENTS = {
                                    raja_n=args.raja_n, jobs=args.jobs,
                                    cache_dir=args.cache_dir,
                                    compile_cache=args.compile_cache,
-                                   engine=args.engine),
+                                   engine=args.engine,
+                                   validate=args.validate),
     "fig2": lambda args: fig2.main(dataset=args.dataset, jobs=args.jobs,
                                    cache_dir=args.cache_dir,
                                    compile_cache=args.compile_cache,
-                                   engine=args.engine),
+                                   engine=args.engine,
+                                   validate=args.validate),
     "fig3": lambda args: fig3.main(n=args.cg_n, jobs=args.jobs),
 }
 
@@ -100,6 +102,14 @@ def main(argv=None) -> int:
                         help="write the merged metrics registry "
                              "(compiler, runtime, cache, pool, "
                              "precision telemetry) as JSON")
+    parser.add_argument("--validate", action="store_true",
+                        help="translation-validate every sweep point: "
+                             "re-run it on every other execution engine "
+                             "(and with the MPFR pool off) and require "
+                             "bit-identical values plus the engine/pool "
+                             "report invariants; a divergence aborts "
+                             "with a failed certificate (table1, fig1, "
+                             "fig2)")
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized grids (table1: gemm+covariance "
                              "on the mini dataset)")

@@ -60,24 +60,25 @@ class Fig1Point:
 
 
 def _polybench_point(kernel: str, n: int, prec: int, with_polly: bool,
-                     max_steps: int, engine=None) -> Fig1Point:
+                     max_steps: int, engine=None,
+                     validate: bool = False) -> Fig1Point:
     ftype = f"vpfloat<mpfr, 16, {prec}>"
     vp = run_kernel(kernel, ftype, n, backend="mpfr",
                     read_outputs=False, max_steps=max_steps,
-                    engine=engine)
+                    engine=engine, validate=validate)
     boost = run_kernel(kernel, ftype, n, backend="boost",
                        read_outputs=False, max_steps=max_steps,
-                       engine=engine)
+                       engine=engine, validate=validate)
     vp_polly = boost_polly = None
     if with_polly:
         vp_polly = run_kernel(kernel, ftype, n, backend="mpfr",
                               polly=True, read_outputs=False,
-                              max_steps=max_steps,
-                              engine=engine).report.cycles
+                              max_steps=max_steps, engine=engine,
+                              validate=validate).report.cycles
         boost_polly = run_kernel(kernel, ftype, n, backend="boost",
                                  polly=True, read_outputs=False,
-                                 max_steps=max_steps,
-                                 engine=engine).report.cycles
+                                 max_steps=max_steps, engine=engine,
+                                 validate=validate).report.cycles
     return Fig1Point(kernel, prec, vp.report.cycles,
                      boost.report.cycles, vp_polly, boost_polly)
 
@@ -88,11 +89,12 @@ def run_fig1_polybench(kernels: Sequence[str] = FIG1_KERNELS,
                        with_polly: bool = True,
                        max_steps: int = 2_000_000_000, jobs: int = 1,
                        cache_dir=None, compile_cache: bool = True,
-                       engine=None) -> List[Fig1Point]:
+                       engine=None,
+                       validate: bool = False) -> List[Fig1Point]:
     from .parallel import parallel_map
 
     tasks = [(kernel, KERNELS[kernel].size_for(dataset), prec,
-              with_polly, max_steps, engine)
+              with_polly, max_steps, engine, validate)
              for kernel in kernels for prec in precisions]
     return parallel_map(_polybench_point, tasks, jobs=jobs,
                         cache_dir=cache_dir, compile_cache=compile_cache)
@@ -114,7 +116,8 @@ class RajaPoint:
 
 def _raja_point(kernel: str, variant: str, kwargs: dict, openmp: bool,
                 n: int, precision: int, threads: int,
-                max_steps: int, engine=None) -> RajaPoint:
+                max_steps: int, engine=None,
+                validate: bool = False) -> RajaPoint:
     from .harness import get_compile_cache
 
     ftype = f"vpfloat<mpfr, 16, {precision}>"
@@ -125,6 +128,9 @@ def _raja_point(kernel: str, variant: str, kwargs: dict, openmp: bool,
                                  cache=get_compile_cache(),
                                  engine=engine, **kwargs).compile(source)
         result = program.run("run", [n], max_steps=max_steps)
+        if validate:
+            _validate_raja(program, kernel, backend, n, engine,
+                           max_steps, result)
         if openmp:
             # RAJAPerf times the kernel region itself.
             times[backend] = result.report.kernel_time(threads)
@@ -134,19 +140,50 @@ def _raja_point(kernel: str, variant: str, kwargs: dict, openmp: bool,
                      times["mpfr"], times["boost"])
 
 
+def _validate_raja(program, kernel: str, backend: str, n: int,
+                   engine, max_steps: int, reference) -> None:
+    """Certificate for one RAJAPerf point: every other engine (and the
+    pool toggle) must reproduce the reference value and report."""
+    from ..core import ENGINES, resolve_engine
+    from ..validation import certificate_for_outcomes
+
+    reference_engine = resolve_engine(engine, backend)
+    candidates = []
+    for candidate in ENGINES:
+        if candidate == reference_engine:
+            continue
+        result = program.run("run", [n], max_steps=max_steps,
+                             engine=candidate)
+        candidates.append((f"engine.{candidate}", "exact",
+                           [result.value], result.report))
+    if backend != "boost":
+        result = program.run("run", [n], max_steps=max_steps,
+                             engine=reference_engine, pool=False)
+        candidates.append(("pool.off", "traffic",
+                           [result.value], result.report))
+    certificate_for_outcomes(
+        subject=f"{kernel}-{backend}",
+        reference_label=f"engine.{reference_engine}",
+        reference=([reference.value], reference.report),
+        candidates=candidates,
+        witness={"kernel": kernel, "n": n, "backend": backend},
+        strict=True)
+
+
 def run_fig1_rajaperf(kernels: Optional[Sequence[str]] = None,
                       n: int = DEFAULT_N,
                       precision: int = 256,
                       threads: int = PAPER_THREADS,
                       max_steps: int = 2_000_000_000, jobs: int = 1,
                       cache_dir=None, compile_cache: bool = True,
-                      engine=None) -> List[RajaPoint]:
+                      engine=None,
+                      validate: bool = False) -> List[RajaPoint]:
     from .parallel import parallel_map
 
     kernels = list(kernels or RAJA_KERNELS)
     tasks = [
         (kernel, variant, kwargs, openmp, n, precision, threads,
-         max_steps, engine)
+         max_steps, engine, validate)
         for openmp, variant_map in ((False, VARIANTS), (True, OMP_VARIANTS))
         for variant, kwargs in variant_map.items()
         for kernel in kernels
@@ -202,14 +239,15 @@ def format_fig1(polybench: List[Fig1Point],
 
 
 def main(dataset: str = "mini", raja_n: int = 256, jobs: int = 1,
-         cache_dir=None, compile_cache: bool = True, engine=None) -> str:
+         cache_dir=None, compile_cache: bool = True, engine=None,
+         validate: bool = False) -> str:
     polybench = run_fig1_polybench(dataset=dataset, jobs=jobs,
                                    cache_dir=cache_dir,
                                    compile_cache=compile_cache,
-                                   engine=engine)
+                                   engine=engine, validate=validate)
     rajaperf = run_fig1_rajaperf(n=raja_n, jobs=jobs, cache_dir=cache_dir,
                                  compile_cache=compile_cache,
-                                 engine=engine)
+                                 engine=engine, validate=validate)
     text = format_fig1(polybench, rajaperf)
     print(text)
     return text

@@ -44,16 +44,20 @@ class Fig2Point:
 
 
 def _fig2_point(kernel: str, n: int, polly: bool,
-                max_steps: int, engine=None) -> Fig2Point:
+                max_steps: int, engine=None,
+                validate: bool = False) -> Fig2Point:
     # The software baseline executes on the in-order Rocket core
     # of the FPGA platform (paper: "All benchmarks including
     # baseline MPFR implementations have been compiled to the
-    # RISC-V ISA").
+    # RISC-V ISA").  Only the mpfr software point is validated: the
+    # unum point runs on the coprocessor machine model, which has no
+    # alternative engine to cross-check against.
     mpfr_type = f"vpfloat<mpfr, 16, {MPFR_PRECISION}>"
     mpfr = run_kernel(kernel, mpfr_type, n, backend="mpfr",
                       polly=polly, read_outputs=False,
                       max_steps=max_steps,
-                      costs=ROCKET_CYCLE_COSTS, engine=engine)
+                      costs=ROCKET_CYCLE_COSTS, engine=engine,
+                      validate=validate)
     unum = run_kernel(kernel, UNUM_TYPE, n, backend="unum",
                       polly=polly, read_outputs=False,
                       max_steps=max_steps)
@@ -66,13 +70,13 @@ def run_fig2(kernels: Sequence[str] = FIG2_KERNELS,
              model_erratum: bool = True,
              max_steps: int = 2_000_000_000, jobs: int = 1,
              cache_dir=None, compile_cache: bool = True,
-             engine=None) -> List[Fig2Point]:
+             engine=None, validate: bool = False) -> List[Fig2Point]:
     from .parallel import parallel_map
 
     grid = [(kernel, polly) for kernel in kernels
             for polly in (False, True)]
     tasks = [(kernel, KERNELS[kernel].size_for(dataset), polly,
-              max_steps, engine)
+              max_steps, engine, validate)
              for kernel, polly in grid
              if not (model_erratum and (kernel, polly) in FIG2_HW_FAILURES)]
     computed = iter(parallel_map(_fig2_point, tasks, jobs=jobs,
@@ -114,10 +118,11 @@ def format_fig2(points: List[Fig2Point]) -> str:
 
 
 def main(dataset: str = "mini", jobs: int = 1, cache_dir=None,
-         compile_cache: bool = True, engine=None) -> str:
+         compile_cache: bool = True, engine=None,
+         validate: bool = False) -> str:
     text = format_fig2(run_fig2(dataset=dataset, jobs=jobs,
                                 cache_dir=cache_dir,
                                 compile_cache=compile_cache,
-                                engine=engine))
+                                engine=engine, validate=validate))
     print(text)
     return text

@@ -57,6 +57,9 @@ class RunOutcome:
     mpfr_stats: object = None
     profile: object = None
     pass_timings: Optional[dict] = None
+    #: Translation-validation certificate (None unless ``validate=``
+    #: was requested and the backend supports it).
+    certificate: object = None
 
 
 def parse_ftype(ftype: str) -> Tuple[str, dict]:
@@ -138,6 +141,7 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
                dispatch: Optional[str] = None, profile: bool = False,
                pool: Optional[bool] = None,
                compile_cache=_UNSET, engine: Optional[str] = None,
+               validate: bool = False,
                **driver_kwargs) -> RunOutcome:
     """Compile + execute one PolyBench kernel; extract its outputs.
 
@@ -148,7 +152,18 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
     unum machine backend.  ``compile_cache`` is a
     :class:`~repro.core.CompileCache` (or None to force a fresh
     compile); left unset, the process default installed via
-    :func:`set_compile_cache` applies."""
+    :func:`set_compile_cache` applies.
+
+    ``validate=True`` additionally re-executes the kernel under every
+    other execution engine and with the MPFR pool off, and attaches a
+    translation-validation certificate (bit-identical outputs, cycle
+    reports under the engine/pool invariants) to the outcome; a failed
+    certificate raises
+    :class:`~repro.validation.CertificateError`.  The primary run is
+    untouched -- its outputs and report are bit-identical to a
+    non-validated run -- and the flag is a single branch when off.
+    Certificates only apply to the interpreter backends; unum-machine
+    points are returned unvalidated."""
     spec = KERNELS[kernel]
     source = source_for(kernel, canonical_source_ftype(ftype))
     registry = current_metrics()
@@ -195,11 +210,63 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
         outputs = _read_interpreter_outputs(
             result.interpreter, int(result.value), spec.outputs(n),
             ftype, backend)
-    return RunOutcome(kernel, ftype, backend, n, outputs, result.report,
-                      result.value,
-                      mpfr_stats=result.interpreter.mpfr.stats,
-                      profile=result.profile,
-                      pass_timings=program.pass_timings)
+    outcome = RunOutcome(kernel, ftype, backend, n, outputs, result.report,
+                         result.value,
+                         mpfr_stats=result.interpreter.mpfr.stats,
+                         profile=result.profile,
+                         pass_timings=program.pass_timings)
+    if validate:
+        outcome.certificate = _validate_run(
+            program, spec, outcome, engine=engine, cache=cache,
+            max_steps=max_steps, costs=costs)
+    return outcome
+
+
+def _validate_run(program, spec, outcome: RunOutcome,
+                  engine: Optional[str], cache: bool, max_steps: int,
+                  costs) -> object:
+    """Cross-run the other engines (and the pool toggle) against the
+    primary outcome and assemble its certificate (strict)."""
+    from ..core import ENGINES, resolve_engine
+    from ..validation import certificate_for_outcomes
+
+    backend = outcome.backend
+    reference_engine = resolve_engine(engine, backend)
+
+    # Mirror the primary observation: outputs participate in the
+    # witness only when the primary run extracted them.
+    read_outputs = bool(outcome.outputs)
+
+    def observe(run_engine, run_pool):
+        result = program.run("run", [outcome.n], cache=cache,
+                             max_steps=max_steps, costs=costs,
+                             engine=run_engine, pool=run_pool)
+        values = [result.value]
+        if read_outputs:
+            values += _read_interpreter_outputs(
+                result.interpreter, int(result.value),
+                spec.outputs(outcome.n), outcome.ftype, backend)
+        return values, result.report
+
+    candidates = []
+    for candidate in ENGINES:
+        if candidate == reference_engine:
+            continue
+        values, report = observe(candidate, None)
+        candidates.append((f"engine.{candidate}", "exact",
+                           values, report))
+    if backend != "boost":
+        values, report = observe(reference_engine, False)
+        candidates.append(("pool.off", "traffic", values, report))
+    return certificate_for_outcomes(
+        subject=f"{outcome.kernel}-{backend}",
+        reference_label=f"engine.{reference_engine}",
+        reference=([outcome.value] + list(outcome.outputs),
+                   outcome.report),
+        candidates=candidates,
+        witness={"kernel": outcome.kernel, "ftype": outcome.ftype,
+                 "n": outcome.n, "backend": backend},
+        strict=True)
 
 
 def _read_interpreter_outputs(interpreter, base: int, count: int,

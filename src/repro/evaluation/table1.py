@@ -45,7 +45,7 @@ class Table1Cell:
 
 
 def _cell_group(kernel: str, dataset: str, max_steps: int,
-                engine=None) -> List[Table1Cell]:
+                engine=None, validate: bool = False) -> List[Table1Cell]:
     """All four rows of one (kernel, dataset) column.
 
     This is the parallel engine's unit of work: the 700-bit reference
@@ -54,12 +54,13 @@ def _cell_group(kernel: str, dataset: str, max_steps: int,
     n = KERNELS[kernel].size_for(dataset)
     reference = run_kernel(kernel, REFERENCE_TYPE, n,
                            backend="none", cache=False,
-                           max_steps=max_steps, engine=engine)
+                           max_steps=max_steps, engine=engine,
+                           validate=validate)
     cells: List[Table1Cell] = []
     for row_name, ftype in ROW_TYPES:
         outcome = run_kernel(kernel, ftype, n, backend="none",
                              cache=False, max_steps=max_steps,
-                             engine=engine)
+                             engine=engine, validate=validate)
         residual = residual_error(outcome.outputs, reference.outputs)
         cells.append(Table1Cell(kernel, row_name, dataset, n, residual))
     return cells
@@ -69,10 +70,10 @@ def run_table1(kernels: Sequence[str] = TABLE1_KERNELS,
                datasets: Sequence[str] = DATASET_ORDER,
                max_steps: int = 2_000_000_000, jobs: int = 1,
                cache_dir=None, compile_cache: bool = True,
-               engine=None) -> List[Table1Cell]:
+               engine=None, validate: bool = False) -> List[Table1Cell]:
     from .parallel import parallel_map
 
-    tasks = [(kernel, dataset, max_steps, engine)
+    tasks = [(kernel, dataset, max_steps, engine, validate)
              for kernel in kernels for dataset in datasets]
     groups = parallel_map(_cell_group, tasks, jobs=jobs,
                           cache_dir=cache_dir,
@@ -110,10 +111,11 @@ def format_table1(cells: List[Table1Cell]) -> str:
 
 def main(jobs: int = 1, cache_dir=None, compile_cache: bool = True,
          kernels: Sequence[str] = TABLE1_KERNELS,
-         datasets: Sequence[str] = DATASET_ORDER, engine=None) -> str:
+         datasets: Sequence[str] = DATASET_ORDER, engine=None,
+         validate: bool = False) -> str:
     text = format_table1(run_table1(kernels=kernels, datasets=datasets,
                                     jobs=jobs, cache_dir=cache_dir,
                                     compile_cache=compile_cache,
-                                    engine=engine))
+                                    engine=engine, validate=validate))
     print(text)
     return text

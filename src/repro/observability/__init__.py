@@ -46,6 +46,7 @@ from .tracer import (
     CAT_PASS,
     CAT_POOL,
     CAT_RUNTIME,
+    CAT_VALIDATE,
     CAT_WORKER,
     Span,
     Tracer,
@@ -53,7 +54,7 @@ from .tracer import (
 
 __all__ = [
     "CAT_CACHE", "CAT_COMPILE", "CAT_PASS", "CAT_POOL", "CAT_RUNTIME",
-    "CAT_WORKER", "MetricsRegistry", "Span", "Tracer",
+    "CAT_VALIDATE", "CAT_WORKER", "MetricsRegistry", "Span", "Tracer",
     "absorb_cache_stats", "absorb_mpfr_stats", "absorb_pass_timings",
     "absorb_profile", "absorb_report", "current_metrics",
     "current_tracer", "enable_telemetry", "install_telemetry",

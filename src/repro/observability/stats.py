@@ -190,6 +190,54 @@ def render_codegen_summary(data: dict) -> str:
     return "\n".join(lines)
 
 
+def render_validation_summary(data: dict) -> str:
+    """Translation-validation outcomes, derived from the ``validate.*``
+    counters the harness emits (certificates by kind, per-check
+    pass/fail, fuzzer and minimizer traffic).  Empty string when the
+    run performed no validation."""
+    counters = data.get("counters", {})
+    certificates = int(counters.get("validate.certificates", 0))
+    fuzzed = int(counters.get("validate.fuzz.programs", 0))
+    if not certificates and not fuzzed:
+        return ""
+    passed = int(counters.get("validate.passed", 0))
+    failed = int(counters.get("validate.failed", 0))
+    lines = [f"validation: {certificates} certificate(s), "
+             f"{passed} passed, {failed} failed"]
+    checks = {}
+    for name, value in counters.items():
+        if not name.startswith("validate.check."):
+            continue
+        parts = name[len("validate.check."):].rsplit(".", 1)
+        if len(parts) != 2 or parts[1] not in ("passed", "failed"):
+            continue
+        label = parts[0]
+        ok, bad = checks.get(label, (0, 0))
+        if parts[1] == "passed":
+            checks[label] = (ok + int(value), bad)
+        else:
+            checks[label] = (ok, bad + int(value))
+    if checks:
+        header = f"  {'check':<28} {'passed':>8} {'failed':>8}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for label in sorted(checks):
+            ok, bad = checks[label]
+            lines.append(f"  {label:<28} {ok:>8} {bad:>8}")
+    if fuzzed:
+        lines.append(f"  fuzzer: {fuzzed} program(s) cross-checked, "
+                     f"{int(counters.get('validate.fuzz.failures', 0))} "
+                     f"failure(s)")
+    minimized = int(counters.get("validate.minimize.runs", 0))
+    if minimized:
+        lines.append(f"  minimizer: {minimized} run(s), "
+                     f"{int(counters.get('validate.minimize.ops_removed', 0))} "
+                     f"op(s) removed, "
+                     f"{int(counters.get('validate.minimize.evaluations', 0))} "
+                     f"predicate evaluation(s)")
+    return "\n".join(lines)
+
+
 def _load(path: str):
     with open(path) as handle:
         return json.load(handle)
@@ -262,6 +310,10 @@ def _main(argv=None) -> int:
             if codegen:
                 print()
                 print(codegen)
+            validation = render_validation_summary(data)
+            if validation:
+                print()
+                print(validation)
     return status
 
 

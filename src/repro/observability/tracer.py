@@ -34,6 +34,7 @@ CAT_RUNTIME = "runtime"
 CAT_CACHE = "cache"
 CAT_WORKER = "worker"
 CAT_POOL = "pool"
+CAT_VALIDATE = "validate"
 
 
 class Span:

@@ -1,0 +1,107 @@
+"""Fuzzing CLI: ``python -m repro.validation {fuzz,replay}``.
+
+``fuzz`` generates random programs from a seeded PRNG (no hypothesis
+dependency on this path -- the test suite's property tests use the
+hypothesis strategy instead), cross-checks each across rounding modes,
+engines, optimization levels and backends, and on failure minimizes the
+program and writes a reproducer to the corpus directory.  The run is
+fully deterministic for a given ``--seed``/``--budget`` pair.
+
+``replay`` re-runs the cross-check on saved reproducers and exits
+non-zero while any of them still fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from ..observability import telemetry_session
+from .corpus import corpus_dir, load_reproducer, save_reproducer
+from .fuzzer import cross_check, generate_program
+from .minimize import minimize
+
+
+def _fuzz(argv: argparse.Namespace) -> int:
+    rng = random.Random(argv.seed)
+    failures: List[str] = []
+    with telemetry_session(metrics=True) as (_, registry):
+        for i in range(argv.budget):
+            program = generate_program(rng, max_ops=argv.max_ops)
+            mismatch = cross_check(program, engines=not argv.no_engines)
+            if mismatch is None:
+                continue
+            print(f"[{i}] FAIL prec={program.prec} "
+                  f"ops={len(program)}: {mismatch.describe()}",
+                  file=sys.stderr)
+
+            def still_fails(candidate,
+                            engines=not argv.no_engines):
+                return cross_check(candidate, engines=engines) is not None
+
+            minimal = minimize(program, still_fails)
+            final = cross_check(minimal, engines=not argv.no_engines)
+            assert final is not None  # minimize() preserved the failure
+            path = save_reproducer(minimal, final,
+                                   directory=argv.corpus_dir)
+            failures.append(path)
+            print(f"[{i}] minimized to {len(minimal)} op(s) -> {path}",
+                  file=sys.stderr)
+        checked = int(registry.counter("validate.fuzz.programs"))
+    print(f"fuzz: {checked} program(s) cross-checked, "
+          f"{len(failures)} failure(s)"
+          + (f" in {corpus_dir(argv.corpus_dir)}" if failures else ""))
+    return 1 if failures else 0
+
+
+def _replay(argv: argparse.Namespace) -> int:
+    still_failing = 0
+    for path in argv.files:
+        program, recorded = load_reproducer(path)
+        mismatch = cross_check(program)
+        if mismatch is None:
+            print(f"{path}: clean ({len(program)} op(s); previously "
+                  f"{recorded.get('stage', '?')}/"
+                  f"{recorded.get('label', '?')})")
+        else:
+            still_failing += 1
+            print(f"{path}: still failing: {mismatch.describe()}")
+    return 1 if still_failing else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validation",
+        description="differential fuzzing of the vpfloat toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="generate and cross-check "
+                                       "random programs")
+    fuzz.add_argument("--budget", type=int, default=25,
+                      help="number of programs to check (default 25)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="PRNG seed (default 0; runs are "
+                           "deterministic per seed)")
+    fuzz.add_argument("--max-ops", type=int, default=14,
+                      help="op-count ceiling per program")
+    fuzz.add_argument("--corpus-dir", default=None,
+                      help="where to write minimized reproducers "
+                           "(default results/fuzz-corpus or "
+                           "$VPFLOAT_FUZZ_CORPUS)")
+    fuzz.add_argument("--no-engines", action="store_true",
+                      help="skip the compiled engine sweep (rounding-"
+                           "mode differential only; much faster)")
+    fuzz.set_defaults(func=_fuzz)
+
+    replay = sub.add_parser("replay", help="re-check saved reproducers")
+    replay.add_argument("files", nargs="+", help="reproducer JSON files")
+    replay.set_defaults(func=_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Reproducer corpus: persist and replay minimized failing programs.
+
+Every failure the fuzzer finds is shrunk by the minimizer and written to
+a corpus directory as ``vpfuzz-<digest>.json`` -- a self-contained
+document holding the program (precision + op list), the mismatch that
+condemned it, and the rendered dialect source for human reading.  The
+digest is the program's own content hash, so re-finding the same minimal
+reproducer is idempotent.
+
+:func:`replay` re-runs the full cross-check on a saved reproducer; the
+generation/minimization pipeline is deterministic, so a reproducer keeps
+failing until the underlying bug is fixed, at which point ``replay``
+reports it clean and the file can be retired.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Tuple
+
+from .fuzzer import FuzzProgram, Mismatch, cross_check
+
+CORPUS_VERSION = 1
+
+#: Default corpus location (override with ``--corpus-dir`` or the
+#: VPFLOAT_FUZZ_CORPUS environment variable).
+DEFAULT_CORPUS_DIR = os.path.join("results", "fuzz-corpus")
+
+
+def corpus_dir(override: Optional[str] = None) -> str:
+    return (override
+            or os.environ.get("VPFLOAT_FUZZ_CORPUS")
+            or DEFAULT_CORPUS_DIR)
+
+
+def reproducer_path(directory: str, program: FuzzProgram) -> str:
+    return os.path.join(directory, f"vpfuzz-{program.digest()}.json")
+
+
+def save_reproducer(program: FuzzProgram, mismatch: Mismatch,
+                    directory: Optional[str] = None) -> str:
+    """Write one minimized reproducer; returns the file path."""
+    directory = corpus_dir(directory)
+    os.makedirs(directory, exist_ok=True)
+    path = reproducer_path(directory, program)
+    document = {
+        "corpus_version": CORPUS_VERSION,
+        "program": program.to_json(),
+        "mismatch": mismatch.to_dict(),
+        "source": program.render_source(),
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_reproducer(path: str) -> Tuple[FuzzProgram, dict]:
+    """-> (program, mismatch-dict) from a corpus file."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "program" not in document:
+        raise ValueError(f"{path}: not a vpfuzz reproducer")
+    return (FuzzProgram.from_json(document["program"]),
+            dict(document.get("mismatch", {})))
+
+
+def replay(path: str) -> Optional[Mismatch]:
+    """Re-run the cross-check on a saved reproducer.
+
+    Returns the (fresh) mismatch when the failure still reproduces, or
+    None when the program now validates clean."""
+    program, _ = load_reproducer(path)
+    return cross_check(program)

@@ -1,0 +1,235 @@
+"""Bit-exact decimal round trips and rounding-step oracle cross-checks.
+
+Two properties the numeric frontend must never lose:
+
+* ``from_str(to_str(x), x.prec, rm)`` is **bit-identical** to ``x`` for
+  every rounding mode -- ``to_str`` emits enough digits that the parse
+  is exact, so the mode cannot matter; and
+
+* :func:`round_significand` agrees with an exact :class:`~fractions
+  .Fraction` oracle on every mode, including the sticky path used by
+  division/sqrt (true value strictly inside an open significand
+  interval).
+
+Plus the malformed-literal sweep for the ``from_str`` sign-handling fix
+("+-inf" and friends must raise, not silently parse).
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import (
+    RNDA,
+    RNDD,
+    RNDN,
+    RNDU,
+    RNDZ,
+    BigFloat,
+    Kind,
+    from_str,
+    round_significand,
+    to_str,
+)
+
+ALL_MODES = (RNDN, RNDZ, RNDU, RNDD, RNDA)
+
+
+def bits(x: BigFloat):
+    """The full representation -- equality on this tuple is bit-identity
+    (``==`` on BigFloat is IEEE compare, which conflates +-0 and ignores
+    precision)."""
+    return (x.kind, x.sign, x.mant, x.exp, x.prec)
+
+
+# ----------------------------------------------------------------- #
+# Round trips
+# ----------------------------------------------------------------- #
+
+@st.composite
+def finite_bigfloats(draw, min_prec=24, max_prec=512, max_mag=16000):
+    """Arbitrary finite nonzero BigFloats, including values far outside
+    the binary64 range (exponents the IEEE format would subnormalize or
+    overflow)."""
+    prec = draw(st.integers(min_value=min_prec, max_value=max_prec))
+    sign = draw(st.integers(min_value=0, max_value=1))
+    mant = draw(st.integers(min_value=0, max_value=(1 << (prec - 1)) - 1))
+    mant |= 1 << (prec - 1)  # normalized: exactly prec bits
+    exp = draw(st.integers(min_value=-max_mag, max_value=max_mag))
+    return BigFloat(Kind.FINITE, sign, mant, exp, prec)
+
+
+def exact_digits(x: BigFloat) -> int:
+    """Significant digits of the *exact* decimal expansion of ``x``
+    (every binary float is a dyadic rational, so this is finite).
+    Formatting with this many digits is lossless, which makes the
+    reparse exact under **any** rounding mode -- the default digit
+    count only guarantees recovery under round-to-nearest."""
+    if x.exp >= 0:
+        num = x.mant << x.exp
+    else:
+        num = x.mant * 5 ** (-x.exp)
+    return max(2, len(str(num).rstrip("0")))
+
+
+@settings(max_examples=1000, deadline=None)
+@given(finite_bigfloats())
+def test_round_trip_default_digits_nearest(x):
+    # The classic shortest-recovering-digit-count guarantee: under
+    # nearest reparse the default formatting is bit-lossless at any
+    # precision and any exponent magnitude.
+    assert bits(from_str(to_str(x), x.prec, RNDN)) == bits(x)
+
+
+@settings(max_examples=1000, deadline=None)
+@given(finite_bigfloats(max_mag=2000))
+def test_round_trip_bit_identical_every_mode(x):
+    # One exact formatting, parsed under all five modes: the text is a
+    # lossless decimal expansion, so each parse must reproduce x
+    # bit-identically and the rounding mode cannot matter.  (Directed
+    # modes genuinely need exactness here: a nearest-recoverable but
+    # inexact decimal reparses one ulp off under RNDZ/RNDU/RNDD.)
+    text = to_str(x, exact_digits(x))
+    for rm in ALL_MODES:
+        assert bits(from_str(text, x.prec, rm)) == bits(x)
+
+
+@pytest.mark.parametrize("rm", ALL_MODES, ids=lambda rm: rm.value)
+def test_round_trip_specials_every_mode(rm):
+    for prec in (24, 53, 128, 512):
+        for x in (BigFloat.zero(prec, 0), BigFloat.zero(prec, 1),
+                  BigFloat.inf(prec, 0), BigFloat.inf(prec, 1)):
+            assert bits(from_str(to_str(x), prec, rm)) == bits(x)
+        nan = from_str(to_str(BigFloat.nan(prec)), prec, rm)
+        assert nan.kind is Kind.NAN and nan.prec == prec
+
+
+@pytest.mark.parametrize("rm", ALL_MODES, ids=lambda rm: rm.value)
+def test_round_trip_extreme_exponents(rm):
+    # Far below binary64's subnormal floor and far above its overflow
+    # ceiling; the decimal formatter must not lose a bit either way.
+    # Exact decimal expansions at these magnitudes exceed CPython's
+    # default int<->str conversion guard; lift it for this test only.
+    import sys
+
+    limit = sys.get_int_max_str_digits()
+    sys.set_int_max_str_digits(40000)
+    try:
+        for prec in (24, 512):
+            for exp in (-16494, -1074, -126, 127, 1024, 16383):
+                x = BigFloat(Kind.FINITE, 1, (1 << (prec - 1)) | 1, exp,
+                             prec)
+                assert bits(from_str(to_str(x), x.prec, RNDN)) == bits(x)
+                text = to_str(x, exact_digits(x))
+                assert bits(from_str(text, prec, rm)) == bits(x)
+    finally:
+        sys.set_int_max_str_digits(limit)
+
+
+# ----------------------------------------------------------------- #
+# from_str sign handling (the "+-inf" fix)
+# ----------------------------------------------------------------- #
+
+class TestFromStrSigns:
+    @pytest.mark.parametrize("bad", [
+        "+-inf", "-+inf", "--inf", "++inf", "+-infinity", "-+nan",
+        "--nan", "++1.0", "+-1.0", "--0.5", "+ inf", "inf+", "nan1",
+        "infx", "in", "+", "-", "",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            from_str(bad, 53)
+
+    @pytest.mark.parametrize("text,kind,sign", [
+        ("inf", Kind.INF, 0), ("+inf", Kind.INF, 0), ("-inf", Kind.INF, 1),
+        ("Infinity", Kind.INF, 0), ("-INFINITY", Kind.INF, 1),
+        ("  +Inf  ", Kind.INF, 0), ("nan", Kind.NAN, 0),
+        ("+NaN", Kind.NAN, 0), ("-nan", Kind.NAN, 0),
+    ])
+    def test_signed_specials_accepted(self, text, kind, sign):
+        x = from_str(text, 53)
+        assert x.kind is kind
+        if kind is Kind.INF:
+            assert x.sign == sign
+
+
+# ----------------------------------------------------------------- #
+# round_significand vs an exact Fraction oracle
+# ----------------------------------------------------------------- #
+
+def oracle_round(sign: int, v: Fraction, prec: int, rm) -> tuple:
+    """Correctly rounded (mant, exp) of ``(-1)**sign * v`` by exhaustive
+    exact arithmetic (v > 0)."""
+    assert v > 0
+    exp = v.numerator.bit_length() - v.denominator.bit_length() - prec
+
+    def floor_scaled(e):
+        if e >= 0:
+            return v.numerator // (v.denominator << e)
+        return (v.numerator << -e) // v.denominator
+
+    while floor_scaled(exp).bit_length() > prec:
+        exp += 1
+    while floor_scaled(exp).bit_length() < prec:
+        exp -= 1
+    q = floor_scaled(exp)
+    rem = v / (Fraction(2) ** exp) - q  # in [0, 1) ulps
+    if rem == 0:
+        up = False
+    elif rm is RNDZ:
+        up = False
+    elif rm is RNDU:
+        up = sign == 0
+    elif rm is RNDD:
+        up = sign == 1
+    elif rem > Fraction(1, 2):
+        up = True
+    elif rem < Fraction(1, 2):
+        up = False
+    elif rm is RNDA:
+        up = True
+    else:
+        up = bool(q & 1)  # ties-to-even
+    if up:
+        q += 1
+        if q >> prec:
+            q >>= 1
+            exp += 1
+    return q, exp
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.integers(min_value=0, max_value=1),
+       st.integers(min_value=1, max_value=(1 << 200) - 1),
+       st.integers(min_value=-300, max_value=300),
+       st.integers(min_value=4, max_value=128),
+       st.sampled_from(ALL_MODES))
+def test_exact_path_matches_oracle(sign, mant, exp, prec, rm):
+    q, e, inexact = round_significand(sign, mant, exp, prec, rm)
+    v = Fraction(mant) * Fraction(2) ** exp
+    assert (q, e) == oracle_round(sign, v, prec, rm)
+    assert inexact == (Fraction(q) * Fraction(2) ** e != v)
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.integers(min_value=0, max_value=1),
+       st.integers(min_value=1, max_value=(1 << 200) - 1),
+       st.integers(min_value=-300, max_value=300),
+       st.integers(min_value=4, max_value=128),
+       st.integers(min_value=1, max_value=60),
+       st.sampled_from(ALL_MODES))
+def test_sticky_path_matches_oracle(sign, mant, exp, prec, tailbits, rm):
+    # Sticky semantics: the true value lies strictly inside
+    # (mant, mant + 1) * 2**exp.  Any representative of the open
+    # interval rounds identically once mant carries more than prec
+    # bits (rounding boundaries sit on the 2**exp grid, never strictly
+    # inside), so cross-check against an odd-tail representative.
+    mant |= 1 << max(mant.bit_length(), prec)  # force > prec bits
+    q, e, inexact = round_significand(sign, mant, exp, prec, rm,
+                                      sticky=True)
+    assert inexact is True
+    tail = Fraction(2 * tailbits - 1, 2 * tailbits * 2)  # in (0, 1)
+    v = (Fraction(mant) + tail) * Fraction(2) ** exp
+    assert (q, e) == oracle_round(sign, v, prec, rm)

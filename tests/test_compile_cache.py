@@ -178,3 +178,106 @@ class TestDefaultDir:
     def test_fallback_under_home(self, monkeypatch):
         monkeypatch.delenv("VPFLOAT_CACHE_DIR", raising=False)
         assert default_cache_dir().endswith("vpfloat-repro")
+
+
+class TestCodegenSidecarCorruption:
+    """Corrupt ``.vpcgen`` sidecars must be cache misses that unlink the
+    bad file (the pickle tier's corrupt-entry policy), never a
+    JSON/KeyError/TypeError propagated into a run."""
+
+    SIDECAR_SOURCE = """
+double f(int n) {
+  vpfloat<mpfr, 16, 64> acc = 0.0;
+  for (int i = 0; i < n; i = i + 1) {
+    acc = acc + 1.5;
+  }
+  return acc;
+}
+"""
+
+    def _first_run(self, tmp_path):
+        import glob
+        import os
+
+        cache = CompileCache(tmp_path / "c")
+        driver = CompilerDriver(backend="mpfr", engine="jit", cache=cache)
+        value = driver.compile(self.SIDECAR_SOURCE,
+                               name="sidecar").run("f", [5]).value
+        sidecars = glob.glob(os.path.join(str(tmp_path / "c"),
+                                          "*.vpcgen"))
+        assert len(sidecars) == 1
+        return value, sidecars[0]
+
+    def _rerun(self, tmp_path):
+        cache = CompileCache(tmp_path / "c")
+        driver = CompilerDriver(backend="mpfr", engine="jit", cache=cache)
+        result = driver.compile(self.SIDECAR_SOURCE,
+                                name="sidecar").run("f", [5])
+        return result.value, cache
+
+    @pytest.mark.parametrize("garble", [
+        "",                                        # truncated to nothing
+        '{"version":',                             # torn JSON
+        "[1, 2, 3]",                               # wrong top-level type
+        '{"version": -1, "functions": {}}',        # stale version
+        '{"functions": {}}',                       # missing version
+    ])
+    def test_unreadable_sidecar_is_miss_and_unlinked(self, tmp_path,
+                                                     garble):
+        import os
+
+        value, path = self._first_run(tmp_path)
+        with open(path, "w") as handle:
+            handle.write(garble)
+        again, cache = self._rerun(tmp_path)
+        assert again == value
+        assert cache.stats.errors >= 1
+
+    def test_garbled_record_is_miss_and_unlinked(self, tmp_path):
+        import json
+
+        from repro.codegen import CODEGEN_VERSION
+
+        value, path = self._first_run(tmp_path)
+        # Valid JSON, current version -- but a function record the jit
+        # engine would crash on.  Must recompile, not TypeError.
+        with open(path, "w") as handle:
+            json.dump({"version": CODEGEN_VERSION,
+                       "functions": {"f": "garbage-not-a-dict"}}, handle)
+        again, cache = self._rerun(tmp_path)
+        assert again == value
+        assert cache.stats.errors >= 1
+        # A fresh, structurally valid sidecar was re-persisted in place.
+        with open(path) as handle:
+            payload = json.load(handle)
+        record = payload["functions"]["f"]
+        assert isinstance(record, dict)
+        assert record["status"] in ("jit", "fallback")
+
+    def test_unknown_status_is_miss(self, tmp_path):
+        import json
+
+        from repro.codegen import CODEGEN_VERSION
+
+        value, path = self._first_run(tmp_path)
+        with open(path, "w") as handle:
+            json.dump({"version": CODEGEN_VERSION,
+                       "functions": {"f": {"status": "wat"}}}, handle)
+        again, cache = self._rerun(tmp_path)
+        assert again == value
+        assert cache.stats.errors >= 1
+
+    def test_jit_record_without_source_is_miss(self, tmp_path):
+        import json
+
+        from repro.codegen import CODEGEN_VERSION
+
+        value, path = self._first_run(tmp_path)
+        with open(path, "w") as handle:
+            json.dump({"version": CODEGEN_VERSION,
+                       "functions": {"f": {"status": "jit",
+                                           "source": None,
+                                           "reason": None}}}, handle)
+        again, cache = self._rerun(tmp_path)
+        assert again == value
+        assert cache.stats.errors >= 1

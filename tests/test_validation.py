@@ -1,0 +1,373 @@
+"""Translation validation: certificates, harness, fuzzer, minimizer.
+
+The acceptance bar for the validation subsystem: ``--validate`` runs on
+real kernels produce passing certificates and leave the primary run
+bit-identical; the fuzzer's differential agrees across every
+engine/optimization configuration; a seeded miscompile shrinks to a
+tiny deterministic reproducer that persists and replays.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bigfloat import RNDN, RNDZ, BigFloat, arith
+from repro.evaluation.harness import run_kernel
+from repro.observability import telemetry_session
+from repro.validation import (
+    Certificate,
+    CertificateError,
+    FuzzOp,
+    FuzzProgram,
+    Mismatch,
+    compare_reports,
+    cross_check,
+    finish_certificate,
+    fuzz_programs,
+    generate_program,
+    load_reproducer,
+    make_check,
+    minimize,
+    replay,
+    save_reproducer,
+    validate_engines,
+    validate_passes,
+    value_token,
+)
+from repro.validation.fuzzer import REFERENCE_KERNELS, eval_reference
+
+SOURCE = """
+double f(int n) {
+  vpfloat<mpfr, 16, 96> acc = 0.25;
+  vpfloat<mpfr, 16, 96> step = 1.5;
+  for (int i = 0; i < n; i = i + 1) {
+    acc = acc * step + 0.125;
+  }
+  return acc;
+}
+"""
+
+
+# ----------------------------------------------------------------- #
+# Certificate primitives
+# ----------------------------------------------------------------- #
+
+class TestValueToken:
+    def test_bigfloat_bit_identity(self):
+        a = BigFloat.from_float(1.5, 64)
+        b = BigFloat.from_float(1.5, 64)
+        assert value_token(a) == value_token(b)
+        assert value_token(a) != value_token(BigFloat.from_float(1.5, 65))
+
+    def test_signed_zero_distinct(self):
+        assert value_token(BigFloat.zero(53, 0)) != \
+            value_token(BigFloat.zero(53, 1))
+        assert value_token(0.0) != value_token(-0.0)
+
+    def test_nan_equals_nan(self):
+        assert value_token(BigFloat.nan(53)) == \
+            value_token(BigFloat.nan(53))
+        assert value_token(float("nan")) == value_token(float("nan"))
+
+    def test_float_vs_bigfloat_distinct(self):
+        assert value_token(1.5) != value_token(BigFloat.from_float(1.5, 53))
+
+
+class TestCompareReports:
+    REF = {"cycles": 100, "instructions": 40, "mpfr_calls": 10,
+           "mpfr_allocations": 2, "heap_allocations": 2, "llc_misses": 1,
+           "dram_bytes": 64, "parallel_cycles": 0,
+           "by_category": {"arith": 90}}
+
+    def test_exact_catches_any_field(self):
+        candidate = dict(self.REF)
+        candidate["cycles"] = 101
+        assert compare_reports(self.REF, self.REF, "exact") is None
+        assert compare_reports(self.REF, candidate, "exact") is not None
+
+    def test_traffic_ignores_cycles_but_not_calls(self):
+        candidate = dict(self.REF, cycles=9999, parallel_cycles=5)
+        assert compare_reports(self.REF, candidate, "traffic") is None
+        candidate = dict(self.REF, mpfr_calls=11)
+        assert compare_reports(self.REF, candidate, "traffic") is not None
+
+    def test_sane_only_wants_positive_work(self):
+        assert compare_reports(self.REF, dict(self.REF, cycles=5,
+                                              instructions=1),
+                               "sane") is None
+        assert compare_reports(self.REF, dict(self.REF, cycles=0),
+                               "sane") is not None
+
+    def test_unknown_strictness_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(self.REF, self.REF, "fuzzy")
+
+
+class TestCertificateObject:
+    def _cert(self, passed: bool) -> Certificate:
+        check = make_check("engine.fast", "exact", (1,),
+                           (1,) if passed else (2,),
+                           TestCompareReports.REF, TestCompareReports.REF)
+        return Certificate(kind="engines", subject="t",
+                           reference="engine.jit", checks=[check],
+                           witness={})
+
+    def test_render_mentions_outcome(self):
+        assert "PASS" in self._cert(True).render()
+        assert "FAIL" in self._cert(False).render()
+
+    def test_round_trips_through_dict(self):
+        cert = self._cert(True)
+        again = Certificate.from_dict(json.loads(
+            json.dumps(cert.to_dict())))
+        assert again.passed and again.subject == cert.subject
+        assert len(again.checks) == len(cert.checks)
+
+    def test_strict_failure_raises(self):
+        with pytest.raises(CertificateError):
+            finish_certificate(self._cert(False), strict=True)
+        assert finish_certificate(self._cert(False), strict=False) \
+            .passed is False
+
+
+# ----------------------------------------------------------------- #
+# Harness: engine + pass certificates on real sources
+# ----------------------------------------------------------------- #
+
+class TestValidateHarness:
+    def test_engines_certificate_passes(self):
+        cert = validate_engines(SOURCE, "f", (12,), backend="mpfr",
+                                cache=None, strict=True)
+        assert cert.passed
+        labels = {check.label for check in cert.checks}
+        # jit is the mpfr reference; the others plus the pool toggle.
+        assert {"engine.fast", "engine.unfused", "engine.legacy",
+                "pool.off"} <= labels
+
+    def test_passes_certificate_passes(self):
+        cert = validate_passes(SOURCE, "f", (12,), backend="mpfr",
+                               cache=None, strict=True)
+        assert cert.passed
+        labels = {check.label for check in cert.checks}
+        assert "opt.O0" in labels
+
+    def test_unum_rejected(self):
+        with pytest.raises(ValueError):
+            validate_engines(SOURCE, "f", (4,), backend="unum",
+                             cache=None)
+
+    def test_counters_emitted(self):
+        with telemetry_session(metrics=True) as (_tracer, registry):
+            validate_engines(SOURCE, "f", (4,), backend="mpfr",
+                             cache=None, strict=True)
+            counters = registry.to_dict()["counters"]
+        assert counters.get("validate.certificates") == 1
+        assert counters.get("validate.passed") == 1
+        assert not counters.get("validate.failed")
+
+
+class TestRunKernelValidate:
+    FTYPE = "vpfloat<mpfr, 16, 128>"
+
+    @pytest.mark.parametrize("kernel,n", [("gemm", 5), ("jacobi-1d", 8)])
+    @pytest.mark.parametrize("engine", ["jit", "fast", "unfused",
+                                        "legacy"])
+    def test_certificate_passes_and_primary_untouched(self, kernel, n,
+                                                      engine):
+        plain = run_kernel(kernel, self.FTYPE, n, backend="mpfr",
+                           engine=engine, compile_cache=None)
+        checked = run_kernel(kernel, self.FTYPE, n, backend="mpfr",
+                             engine=engine, compile_cache=None,
+                             validate=True)
+        assert checked.certificate is not None
+        assert checked.certificate.passed
+        # The primary observation is bit-identical to a plain run.
+        assert value_token(checked.value) == value_token(plain.value)
+        assert [value_token(v) for v in checked.outputs] == \
+            [value_token(v) for v in plain.outputs]
+        assert checked.report.cycles == plain.report.cycles
+        assert checked.report.instructions == plain.report.instructions
+        assert checked.report.mpfr_calls == plain.report.mpfr_calls
+
+    def test_validate_off_attaches_nothing(self):
+        outcome = run_kernel("gemm", self.FTYPE, 4, backend="mpfr",
+                             compile_cache=None)
+        assert outcome.certificate is None
+
+
+# ----------------------------------------------------------------- #
+# Fuzzer
+# ----------------------------------------------------------------- #
+
+class TestFuzzer:
+    def test_generation_is_deterministic(self):
+        import random
+
+        a = generate_program(random.Random(7))
+        b = generate_program(random.Random(7))
+        assert a == b and a.digest() == b.digest()
+
+    def test_renders_compilable_source(self):
+        import random
+
+        from repro.core import compile_source
+
+        program = generate_program(random.Random(1))
+        compiled = compile_source(program.render_source(), backend="mpfr")
+        compiled.run("f", [], cache=False)
+
+    def test_random_programs_cross_check_clean(self):
+        import random
+
+        for seed in (0, 1, 2):
+            program = generate_program(random.Random(seed), max_ops=8)
+            mismatch = cross_check(program, engines=(seed == 0))
+            assert mismatch is None, mismatch.describe()
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(fuzz_programs(max_ops=6))
+    def test_rounding_differential_property(self, program):
+        from repro.validation import cross_check_rounding
+
+        mismatch = cross_check_rounding(program)
+        assert mismatch is None, mismatch.describe()
+
+    def test_json_round_trip(self):
+        import random
+
+        program = generate_program(random.Random(5))
+        again = FuzzProgram.from_json(json.loads(
+            json.dumps(program.to_json())))
+        assert again == program
+
+
+# ----------------------------------------------------------------- #
+# Minimizer: a seeded miscompile shrinks to a tiny reproducer
+# ----------------------------------------------------------------- #
+
+def _broken_kernels():
+    """A deliberately miscompiled ``mul``: nearest rounding silently
+    degrades to truncation (a classic one-ulp bug)."""
+    kernels = dict(REFERENCE_KERNELS)
+
+    def bad_mul(a, b, prec, rm):
+        return arith.mul(a, b, prec, RNDZ if rm is RNDN else rm)
+
+    kernels["mul"] = bad_mul
+    return kernels
+
+
+def _miscompiled(program: FuzzProgram) -> bool:
+    broken = value_token(eval_reference(program, RNDN,
+                                        kernels=_broken_kernels()))
+    good = value_token(eval_reference(program, RNDN))
+    return broken != good
+
+
+SEEDED = FuzzProgram(prec=64, ops=(
+    FuzzOp("lit", ("1.1",)),
+    FuzzOp("lit", ("1.7",)),
+    FuzzOp("lit", ("2.0",)),
+    FuzzOp("add", (0, 2)),
+    FuzzOp("neg", (3,)),
+    FuzzOp("mul", (0, 1)),      # 1.1 * 1.7 rounds up under RNDN at 64b
+    FuzzOp("abs", (5,)),
+    FuzzOp("lit", ("0.0",)),
+    FuzzOp("add", (6, 7)),
+    FuzzOp("loop", (2, 8, 2, 7)),
+))
+
+
+class TestMinimizer:
+    def test_seeded_miscompile_shrinks_small_and_deterministic(self):
+        assert _miscompiled(SEEDED)
+        first = minimize(SEEDED, _miscompiled)
+        second = minimize(SEEDED, _miscompiled)
+        assert first == second  # deterministic replay
+        assert len(first) <= 5
+        assert _miscompiled(first)
+
+    def test_healthy_program_rejected(self):
+        healthy = FuzzProgram(prec=64, ops=(FuzzOp("lit", ("1.5",)),))
+        with pytest.raises(ValueError):
+            minimize(healthy, _miscompiled)
+
+    def test_counters_emitted(self):
+        with telemetry_session(metrics=True) as (_tracer, registry):
+            minimize(SEEDED, _miscompiled)
+            counters = registry.to_dict()["counters"]
+        assert counters.get("validate.minimize.runs") == 1
+        assert counters.get("validate.minimize.evaluations", 0) > 0
+
+
+# ----------------------------------------------------------------- #
+# Corpus persistence + replay
+# ----------------------------------------------------------------- #
+
+class TestCorpus:
+    def test_save_load_round_trip(self, tmp_path):
+        program = minimize(SEEDED, _miscompiled)
+        mismatch = Mismatch("rounding", "mpfr_api", "arith",
+                            "expected-token", "got-token",
+                            rounding="RNDN")
+        path = save_reproducer(program, mismatch, str(tmp_path))
+        loaded, info = load_reproducer(path)
+        assert loaded == program
+        assert info["label"] == "mpfr_api"
+        assert program.digest() in path
+
+    def test_replay_of_healthy_reproducer_passes(self, tmp_path):
+        # The arithmetic itself is sound, so replaying any saved
+        # program against the real kernels finds no divergence.
+        program = FuzzProgram(prec=64, ops=(
+            FuzzOp("lit", ("1.25",)), FuzzOp("lit", ("3.0",)),
+            FuzzOp("div", (0, 1))))
+        mismatch = Mismatch("rounding", "x", "arith", "a", "b")
+        path = save_reproducer(program, mismatch, str(tmp_path))
+        assert replay(path) is None
+
+    def test_corpus_dir_env_override(self, tmp_path, monkeypatch):
+        from repro.validation import corpus_dir
+
+        monkeypatch.setenv("VPFLOAT_FUZZ_CORPUS", str(tmp_path / "c"))
+        assert corpus_dir() == str(tmp_path / "c")
+
+
+# ----------------------------------------------------------------- #
+# CLI entry points
+# ----------------------------------------------------------------- #
+
+class TestCli:
+    def test_vpfloat_cc_validate_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source = tmp_path / "k.c"
+        source.write_text(SOURCE)
+        status = main([str(source), "--backend", "mpfr", "--run", "f",
+                       "--args", "6", "--validate",
+                       "--no-compile-cache"])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "PASS" in captured.out
+
+    def test_fuzz_module_bounded_run(self, tmp_path, capsys):
+        from repro.validation.__main__ import main
+
+        status = main(["fuzz", "--budget", "2", "--seed", "0",
+                       "--max-ops", "6", "--no-engines",
+                       "--corpus-dir", str(tmp_path)])
+        assert status == 0
+
+    def test_stats_renders_validation_summary(self, capsys):
+        from repro.observability.stats import render_validation_summary
+
+        text = render_validation_summary({"counters": {
+            "validate.certificates": 2, "validate.passed": 2,
+            "validate.failed": 0,
+            "validate.check.engine.fast.passed": 2,
+            "validate.fuzz.programs": 3}})
+        assert "2 certificate(s)" in text
+        assert "engine.fast" in text
+        assert render_validation_summary({"counters": {}}) == ""
