@@ -1,0 +1,178 @@
+"""Throughput benchmark for the batched SoA execution engine.
+
+Measures host wall-clock throughput of ``program.run_batch`` -- one IR
+dispatch per instruction amortized over N independent vpfloat lanes --
+against the looped serial jit engine (N separate ``program.run`` calls)
+on the PolyBench ``gemm`` and ``jacobi-1d`` kernels at
+``vpfloat<mpfr, 16, 256>``, sweeping batch sizes 1/10/100/1000.
+
+Verifies the bit-identity guarantee while it measures: every lane's
+output array and the shared per-lane cycle report must equal the serial
+run exactly.  Asserts the speedup floor on gemm at batch >= 100
+(>= 10x full mode, >= 1x quick), and emits a JSON document of the sweep
+next to the other bench artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batched.py
+    PYTHONPATH=src python benchmarks/bench_batched.py --quick
+    PYTHONPATH=src python benchmarks/bench_batched.py --json-out out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import CompilerDriver
+from repro.evaluation.harness import element_stride
+from repro.runtime.batch import lane_view
+from repro.workloads.polybench import KERNELS, source_for
+
+FTYPE = "vpfloat<mpfr, 16, 256>"
+BENCH_FORMAT_VERSION = 1
+GEMM_FLOOR_FULL = 10.0
+GEMM_FLOOR_QUICK = 1.0
+FLOOR_LANES = 100  # the floor applies to batch sizes >= this
+
+SIZES_FULL = (1, 10, 100, 1000)
+SIZES_QUICK = (1, 8, 32)
+
+
+def _output_bits(interpreter, base: int, count: int, lane: int = 0):
+    """Exact (kind, sign, mant, exp, prec) tuples per output cell."""
+    stride = element_stride(FTYPE, "mpfr")
+    bits = []
+    for i in range(count):
+        cell = interpreter.memory.cells.get(base + i * stride)
+        raw = cell[0] if cell is not None else None
+        if raw is None:
+            bits.append(None)
+        elif hasattr(raw, "value") and hasattr(raw, "prec"):
+            v = lane_view(raw, lane)
+            bits.append((v.kind, v.sign, v.mant, v.exp, raw.prec))
+        else:
+            bits.append(raw)
+    return bits
+
+
+def _report_bits(report):
+    return (report.cycles, report.instructions, report.mpfr_calls,
+            report.parallel_cycles, report.bytes_read,
+            report.bytes_written, dict(report.by_category))
+
+
+def bench_kernel(kernel: str, n: int, sizes, reps: int, failures):
+    """Serial-vs-batched sweep over one kernel; returns the JSON row."""
+    source = source_for(kernel, FTYPE)
+    program = CompilerDriver(backend="mpfr").compile(source, name=kernel)
+    count = KERNELS[kernel].outputs(n)
+
+    # Warm both paths outside the timers: jit emission for the serial
+    # engine, fused batch-kernel construction for the batched one.
+    program.run("run", [n], engine="jit")
+    program.run_batch("run", [n], lanes=2)
+
+    serial_walls = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        serial = program.run("run", [n], engine="jit")
+        serial_walls.append(time.perf_counter() - started)
+    serial_wall = min(serial_walls)
+    serial_outputs = _output_bits(serial.interpreter, int(serial.value),
+                                  count)
+    serial_report = _report_bits(serial.report)
+
+    print(f"kernel={kernel} ftype={FTYPE} n={n} reps={reps}")
+    print(f"serial jit (per run):        {serial_wall * 1e3:10.3f} ms")
+    rows = []
+    for lanes in sizes:
+        started = time.perf_counter()
+        result = program.run_batch("run", [n], lanes=lanes)
+        wall = time.perf_counter() - started
+        per_lane = wall / lanes
+        speedup = serial_wall / per_lane if per_lane else float("inf")
+        ctx = getattr(result.interpreter, "batch", None)
+        fallbacks = ctx.scalar_fallbacks if ctx is not None else None
+        print(f"batch of {lanes:>5} ({result.mode:>7}): "
+              f"{per_lane * 1e3:10.3f} ms/lane   {speedup:8.2f}x")
+
+        for i in range(result.lanes):
+            lane_outputs = _output_bits(result.interpreter,
+                                        int(result.values[i]), count,
+                                        lane=i)
+            if lane_outputs != serial_outputs:
+                failures.append(f"{kernel}: batch of {lanes} lane {i} "
+                                f"outputs differ from the serial run")
+                break
+            if _report_bits(result.reports[i]) != serial_report:
+                failures.append(f"{kernel}: batch of {lanes} lane {i} "
+                                f"cycle report differs from the serial "
+                                f"run")
+                break
+        rows.append({"lanes": lanes, "mode": result.mode,
+                     "wall_seconds": wall,
+                     "seconds_per_lane": per_lane,
+                     "speedup_vs_looped_jit": speedup,
+                     "scalar_fallback_lane_ops": fallbacks})
+    return {"n": n, "serial_seconds_per_run": serial_wall,
+            "batches": rows}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes and batches, relaxed speedup "
+                             "floor (CI smoke mode)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="serial-baseline repetitions (default 3, "
+                             "quick 2)")
+    parser.add_argument("--json-out", metavar="FILE", default=None,
+                        help="write the sweep results as JSON "
+                             "(CI artifact)")
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (2 if args.quick else 3)
+    sizes = SIZES_QUICK if args.quick else SIZES_FULL
+    gemm_n = 6 if args.quick else 8
+    jacobi_n = 12 if args.quick else 20
+
+    failures = []
+    document = {"version": BENCH_FORMAT_VERSION, "ftype": FTYPE,
+                "quick": args.quick, "kernels": {}}
+    document["kernels"]["gemm"] = bench_kernel("gemm", gemm_n, sizes,
+                                               reps, failures)
+    print()
+    document["kernels"]["jacobi-1d"] = bench_kernel("jacobi-1d", jacobi_n,
+                                                    sizes, reps, failures)
+    print()
+
+    floor = GEMM_FLOOR_QUICK if args.quick else GEMM_FLOOR_FULL
+    floored = [row for row in document["kernels"]["gemm"]["batches"]
+               if row["lanes"] >= FLOOR_LANES]
+    if not floored:  # quick mode: apply the floor to the largest batch
+        floored = [document["kernels"]["gemm"]["batches"][-1]]
+    for row in floored:
+        if row["speedup_vs_looped_jit"] < floor:
+            failures.append(
+                f"gemm batch of {row['lanes']}: speedup "
+                f"{row['speedup_vs_looped_jit']:.2f}x below the "
+                f"{floor:.1f}x floor")
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {args.json_out}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: per-lane outputs and cycle reports bit-identical to "
+              "serial, speedup floor met")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,7 @@ from ..ir import (
 )
 from ..observability.tracer import CAT_COMPILE
 from . import CODEGEN_VERSION
+from .batch_kernels import batch_kernel_factory
 from .kernels import specialized_kernel
 
 #: vpfloat binary opcodes with an inlinable specialized kernel.
@@ -124,6 +125,27 @@ class _KernelMap(dict):
         return kernel
 
 
+class _BatchKernelMap(dict):
+    """``(prec, exp_bits) -> fused batched RNDN kernel`` for one op.
+
+    Batch-mode call sites additionally key on the destination handle's
+    exponent-range clamp (folded into the kernel's lane store), so the
+    emitted body needs no per-call clamp block.
+    """
+
+    def __init__(self, op: str, ctx):
+        super().__init__()
+        self.op = op
+        self.ctx = ctx
+
+    def __missing__(self, key):
+        prec, exp_bits = key
+        kernel = batch_kernel_factory(self.op, prec, RNDN,
+                                      exp_bits)(self.ctx)
+        self[key] = kernel
+        return kernel
+
+
 class JitRuntime:
     """Make-time resolver for one (interpreter, function) pair.
 
@@ -149,6 +171,10 @@ class JitRuntime:
     inf = math.inf
     nan = math.nan
     limb_bytes = staticmethod(limb_bytes)
+    # Bound by the prelude in every module; only batch-mode source
+    # (emitted against a BatchInterpreter) ever calls them.
+    batch_from_float = None
+    batch_from_int = None
 
     def __init__(self, interp, func: Function):
         self.interp = interp
@@ -208,6 +234,27 @@ class JitRuntime:
         if isinstance(v, Function):
             return v
         raise TypeError(f"cannot resolve {type(v).__name__} at bind time")
+
+
+class BatchJitRuntime(JitRuntime):
+    """Resolver for batch-mode modules: mpfr kernel maps hand out the
+    fused N-lane kernels (clamp folded, keyed ``(prec, exp_bits)``) and
+    scalar assignments broadcast across the interpreter's lanes."""
+
+    __slots__ = ()
+
+    def mpfr_kernels(self, op: str) -> _BatchKernelMap:
+        return _BatchKernelMap(op, self.interp.batch)
+
+    def batch_from_float(self, value, prec: int):
+        from ..runtime.batch import VPBatch
+        return VPBatch.broadcast(BigFloat.from_float(value, prec),
+                                 self.interp.batch.lanes)
+
+    def batch_from_int(self, value, prec: int):
+        from ..runtime.batch import VPBatch
+        return VPBatch.broadcast(BigFloat.from_int(value, prec),
+                                 self.interp.batch.lanes)
 
 
 def _bind_runtime_refs() -> None:
@@ -271,6 +318,8 @@ _mopc = _C.mpfr_op_cost
 _bcat = _rep.by_category
 _mstats = _interp.mpfr.stats
 _mbump = _mstats.bump
+_bfromf = R.batch_from_float
+_bfromi = R.batch_from_int
 _lbytes = R.limb_bytes
 _lbc = {}
 _cachem = _acct.cache
@@ -285,6 +334,9 @@ class FunctionEmitter:
     def __init__(self, interp, func: Function):
         self.interp = interp
         self.func = func
+        # Batched interpreters carry a BatchContext; their modules use
+        # the fused N-lane mpfr kernels and broadcast assignments.
+        self.batch = getattr(interp, "batch", None) is not None
         self.names: Dict[int, str] = {}
         self.pool: Dict[int, str] = {}
         self.prelude: List[str] = []
@@ -671,6 +723,8 @@ class FunctionEmitter:
             msg = f"{op} unsupported on vpfloat"
             out.append(f"raise _VPR({msg!r})")
             return
+        if self.batch:
+            raise _Unsupported("native vp arithmetic in batch mode")
         if vptype.format == "posit":
             raise _Unsupported("posit vp arithmetic")
         if not self._vp_static_ok(vptype):
@@ -919,6 +973,8 @@ class FunctionEmitter:
         out.append(f"{name} = _cast({handle}, {source}, None)")
 
     def _emit_fneg(self, inst: FNegInst, bi, ii, out) -> None:
+        if self.batch and inst.type.is_vpfloat:
+            raise _Unsupported("native vp negation in batch mode")
         a = self.ref(inst.operands[0], bi, ii, 0)
         name = self.names[id(inst)]
         self._charge("fneg", "f64_other")
@@ -1037,9 +1093,15 @@ class FunctionEmitter:
             out.append(delegate)
             out.append("else:")
             out.append("    _p = _x.prec")
-            out.append(f"    _v = {kmap}[_p](_y.value, _z.value)")
-            out.append("    _x.value = _v")
-            self._emit_clamp(out)
+            if self.batch:
+                # Fused N-lane kernel with the exponent-range clamp
+                # folded into the lane store; no per-call clamp block.
+                out.append(f"    _x.value = {kmap}[_p, _x.exp_bits]"
+                           "(_y.value, _z.value)")
+            else:
+                out.append(f"    _v = {kmap}[_p](_y.value, _z.value)")
+                out.append("    _x.value = _v")
+                self._emit_clamp(out)
             out.append("    _mstats.ops += 1")
             out.append(f"    _mbump({bname!r})")
             self._emit_touch(out, ["_y", "_z"], "_x")
@@ -1057,10 +1119,14 @@ class FunctionEmitter:
             out.append(delegate)
             out.append("else:")
             out.append("    _p = _x.prec")
-            out.append(f"    _v = {kmap}[_p](_y.value, _z.value, "
-                       "_w.value)")
-            out.append("    _x.value = _v")
-            self._emit_clamp(out)
+            if self.batch:
+                out.append(f"    _x.value = {kmap}[_p, _x.exp_bits]"
+                           "(_y.value, _z.value, _w.value)")
+            else:
+                out.append(f"    _v = {kmap}[_p](_y.value, _z.value, "
+                           "_w.value)")
+                out.append("    _x.value = _v")
+                self._emit_clamp(out)
             out.append("    _mstats.ops += 1")
             out.append(f"    _mbump({bname!r})")
             self._emit_touch(out, ["_y", "_z", "_w"], "_x")
@@ -1087,7 +1153,11 @@ class FunctionEmitter:
             out.append(delegate)
             out.append("else:")
             out.append("    _p = _x.prec")
-            out.append(f"    _x.value = _BF.{ctor}({args[1]}, _p)")
+            if self.batch:
+                bcast = "_bfromf" if op == "set_d" else "_bfromi"
+                out.append(f"    _x.value = {bcast}({args[1]}, _p)")
+            else:
+                out.append(f"    _x.value = _BF.{ctor}({args[1]}, _p)")
             out.append("    _mstats.sets += 1")
             out.append(f"    _mbump({bname!r})")
             self._emit_touch(out, [], "_x")
@@ -1257,8 +1327,10 @@ class JitEngine:
             store.codes[name] = code
         namespace: Dict[str, object] = {}
         exec(code, namespace)
+        runtime_cls = BatchJitRuntime \
+            if getattr(interp, "batch", None) is not None else JitRuntime
         try:
-            entry = namespace["_make"](JitRuntime(interp, func))
+            entry = namespace["_make"](runtime_cls(interp, func))
         except Exception as e:
             # Bind-time resolution failed (e.g. an invalid constant):
             # the closure engine reproduces the error at execution.

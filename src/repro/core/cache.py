@@ -133,13 +133,18 @@ class CompileCache:
 
     @staticmethod
     def fingerprint(source: str, options, name: str = "module",
-                    engine: Optional[str] = None) -> str:
+                    engine: Optional[str] = None,
+                    batch: bool = False) -> str:
         """Stable hex digest over everything that affects compilation.
 
         ``engine`` is the execution engine the program is being built
         for; together with the codegen format version it keeps cached
         programs (and their codegen sidecars) from ever being replayed
         under a different engine or a stale emitted-source format.
+        ``batch`` keys batched-execution codegen sidecars separately:
+        batch-mode jit modules use the fused N-lane kernel maps and
+        broadcast assignments, so their source differs from serial
+        modules for the same program.
         """
         h = hashlib.sha256()
         h.update(b"vpfloat-compile-cache\0")
@@ -148,6 +153,7 @@ class CompileCache:
                  .encode())
         h.update(f"name={name}\0".encode())
         h.update(f"engine={engine!r}\0".encode())
+        h.update(f"batch={batch!r}\0".encode())
         h.update(f"codegen={CODEGEN_VERSION}\0".encode())
         for f in sorted(fields(options), key=lambda f: f.name):
             value = getattr(options, f.name)

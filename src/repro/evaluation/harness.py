@@ -15,6 +15,7 @@ from ..bigfloat import BigFloat
 from ..core import CompilerDriver
 from ..observability import current_metrics
 from ..runtime import CostReport
+from ..runtime.batch import lane_view
 from ..unum import UnumConfig, UnumCoprocessor, decode as unum_decode
 from ..workloads.polybench import KERNELS, source_for
 
@@ -60,6 +61,11 @@ class RunOutcome:
     #: Translation-validation certificate (None unless ``validate=``
     #: was requested and the backend supports it).
     certificate: object = None
+    #: Batched execution (None for serial points): the lane count and
+    #: whether the batch actually ran in lockstep ("batched") or bailed
+    #: out to per-lane serial jit runs ("serial").
+    batch: Optional[int] = None
+    batch_mode: Optional[str] = None
 
 
 def parse_ftype(ftype: str) -> Tuple[str, dict]:
@@ -141,7 +147,7 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
                dispatch: Optional[str] = None, profile: bool = False,
                pool: Optional[bool] = None,
                compile_cache=_UNSET, engine: Optional[str] = None,
-               validate: bool = False,
+               validate: bool = False, batch: Optional[int] = None,
                **driver_kwargs) -> RunOutcome:
     """Compile + execute one PolyBench kernel; extract its outputs.
 
@@ -163,7 +169,15 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
     untouched -- its outputs and report are bit-identical to a
     non-validated run -- and the flag is a single branch when off.
     Certificates only apply to the interpreter backends; unum-machine
-    points are returned unvalidated."""
+    points are returned unvalidated.
+
+    ``batch=N`` (mpfr backend, jit engine) executes the kernel as one
+    batched SPMD run of N lanes (:meth:`CompiledProgram.run_batch`) and
+    returns lane 0's outputs and report -- bit-identical to a serial
+    run, since every lane computes the same point.  ``validate=True``
+    then certifies the ``serial↔batched`` transition instead: one
+    serial jit reference run, every batch lane checked against it under
+    the ``exact`` invariant."""
     spec = KERNELS[kernel]
     source = source_for(kernel, canonical_source_ftype(ftype))
     registry = current_metrics()
@@ -174,11 +188,27 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
         compile_cache = _COMPILE_CACHE
     if engine is None:
         engine = dispatch
+    if batch is not None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if backend != "mpfr":
+            raise ValueError("batched execution requires the mpfr "
+                             f"backend, not {backend!r}")
+        if engine not in (None, "jit"):
+            raise ValueError("batched execution runs on the jit engine; "
+                             f"pass engine=None or 'jit', not {engine!r}")
     driver = CompilerDriver(backend=backend, polly=polly,
                             cache=compile_cache, engine=engine,
                             **driver_kwargs)
     program = driver.compile(source, name=f"{kernel}-{backend}")
     kind, params = parse_ftype(ftype)
+
+    if batch is not None:
+        return _run_kernel_batched(program, spec, kernel, ftype, backend,
+                                   n, batch, cache=cache,
+                                   max_steps=max_steps, costs=costs,
+                                   pool=pool, read_outputs=read_outputs,
+                                   validate=validate)
 
     if backend == "unum":
         if coprocessor is None:
@@ -220,6 +250,80 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
             program, spec, outcome, engine=engine, cache=cache,
             max_steps=max_steps, costs=costs)
     return outcome
+
+
+def _run_kernel_batched(program, spec, kernel: str, ftype: str,
+                        backend: str, n: int, lanes: int, cache: bool,
+                        max_steps: int, costs, pool: Optional[bool],
+                        read_outputs: bool,
+                        validate: bool) -> RunOutcome:
+    """One batched SPMD execution standing in for a serial point.
+
+    All lanes compute the same (kernel, n) point, so the outcome
+    carries lane 0's value/outputs/report -- which the batch engine
+    guarantees (and ``validate=True`` certifies) to be bit-identical
+    to a serial jit run."""
+    result = program.run_batch("run", [n], lanes=lanes, cache=cache,
+                               max_steps=max_steps, costs=costs,
+                               pool=pool)
+    value = result.values[0]
+    outputs: List[Number] = []
+    if read_outputs and result.interpreter is not None:
+        outputs = _read_interpreter_outputs(
+            result.interpreter, int(value), spec.outputs(n), ftype,
+            backend, lane=0)
+    outcome = RunOutcome(kernel, ftype, backend, n, outputs,
+                         result.reports[0], value,
+                         mpfr_stats=(result.interpreter.mpfr.stats
+                                     if result.interpreter is not None
+                                     else None),
+                         pass_timings=program.pass_timings,
+                         batch=lanes, batch_mode=result.mode)
+    if validate:
+        outcome.certificate = _validate_batch_run(
+            program, spec, outcome, result, cache=cache,
+            max_steps=max_steps, costs=costs)
+    return outcome
+
+
+def _validate_batch_run(program, spec, outcome: RunOutcome,
+                        batch_result, cache: bool, max_steps: int,
+                        costs) -> object:
+    """Certify the ``serial↔batched`` transition: one serial jit
+    reference run, every batch lane checked against it bit-for-bit
+    (values, outputs, and the full cycle report -- the ``exact``
+    invariant from :data:`~repro.validation.TRANSITIONS`)."""
+    from ..validation import TRANSITIONS, certificate_for_outcomes
+
+    strictness = TRANSITIONS["serial↔batched"]
+    serial = program.run("run", [outcome.n], cache=cache,
+                         max_steps=max_steps, costs=costs, engine="jit")
+    read_outputs = bool(outcome.outputs)
+    ref_values = [serial.value]
+    if read_outputs:
+        ref_values += _read_interpreter_outputs(
+            serial.interpreter, int(serial.value),
+            spec.outputs(outcome.n), outcome.ftype, outcome.backend)
+    candidates = []
+    for i in range(batch_result.lanes):
+        values = [batch_result.values[i]]
+        if read_outputs and batch_result.interpreter is not None:
+            values += _read_interpreter_outputs(
+                batch_result.interpreter, int(batch_result.values[i]),
+                spec.outputs(outcome.n), outcome.ftype, outcome.backend,
+                lane=i)
+        candidates.append((f"batch{batch_result.lanes}.lane{i}",
+                           strictness, values, batch_result.reports[i]))
+    return certificate_for_outcomes(
+        subject=f"{outcome.kernel}-{outcome.backend}",
+        reference_label="engine.jit.serial",
+        reference=(ref_values, serial.report),
+        candidates=candidates,
+        witness={"kernel": outcome.kernel, "ftype": outcome.ftype,
+                 "n": outcome.n, "backend": outcome.backend,
+                 "lanes": batch_result.lanes,
+                 "batch_mode": batch_result.mode},
+        strict=True)
 
 
 def _validate_run(program, spec, outcome: RunOutcome,
@@ -270,7 +374,12 @@ def _validate_run(program, spec, outcome: RunOutcome,
 
 
 def _read_interpreter_outputs(interpreter, base: int, count: int,
-                              ftype: str, backend: str) -> List[Number]:
+                              ftype: str, backend: str,
+                              lane: int = 0) -> List[Number]:
+    """Extract ``count`` output elements from simulated memory.
+
+    ``lane`` selects the lane of batched (VPBatch-valued) cells; serial
+    cells are unaffected by it."""
     stride = element_stride(ftype, backend)
     kind, _params = parse_ftype(ftype)
     values: List[Number] = []
@@ -280,7 +389,9 @@ def _read_interpreter_outputs(interpreter, base: int, count: int,
         if raw is None:
             values.append(0.0)
         elif hasattr(raw, "value") and hasattr(raw, "prec"):
-            values.append(raw.value)  # MpfrVar handle
+            # MpfrVar handle: its value is a BigFloat (serial) or a
+            # VPBatch (batched run) -- lane_view resolves both.
+            values.append(lane_view(raw, lane))
         else:
             values.append(raw)
     return values

@@ -58,18 +58,43 @@ class EvaluationTaskError(RuntimeError):
         self.index = index
 
 
-def shard_tasks(count: int, jobs: int) -> List[List[int]]:
+def shard_tasks(count: int, jobs: int,
+                groups: Optional[Sequence] = None) -> List[List[int]]:
     """Round-robin task indices into ``jobs`` shards, order-preserving.
 
-    Task ``i`` goes to shard ``i % jobs`` -- a pure function of the
-    grid, never of scheduling -- so reruns assign identical work and
-    per-shard compile-cache warmth is reproducible.
+    Without ``groups``, task ``i`` goes to shard ``i % jobs`` -- a pure
+    function of the grid, never of scheduling -- so reruns assign
+    identical work and per-shard compile-cache warmth is reproducible.
+
+    With ``groups`` (one hashable key per task), whole groups are
+    round-robined instead: every task sharing a key lands in the same
+    shard, groups are assigned in first-occurrence order (group ``g``
+    to shard ``g % jobs``), and each shard keeps its tasks in grid
+    order.  The evaluation drivers group by (kernel, backend, element
+    type) so one worker holds all the points a batched execution could
+    amortize over -- same compiled program, same precision -- instead
+    of interleaving unrelated kernels; the assignment stays a pure
+    function of the grid.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    shards = [[] for _ in range(min(jobs, count) or 1)]
-    for index in range(count):
-        shards[index % len(shards)].append(index)
+    if groups is None:
+        shards = [[] for _ in range(min(jobs, count) or 1)]
+        for index in range(count):
+            shards[index % len(shards)].append(index)
+        return [shard for shard in shards if shard]
+    groups = list(groups)
+    if len(groups) != count:
+        raise ValueError(f"groups must have one key per task: "
+                         f"{len(groups)} keys for {count} tasks")
+    members: "dict" = {}
+    for index, key in enumerate(groups):
+        members.setdefault(key, []).append(index)
+    shards = [[] for _ in range(min(jobs, len(members)) or 1)]
+    for g, key in enumerate(members):
+        shards[g % len(shards)].extend(members[key])
+    for shard in shards:
+        shard.sort()
     return [shard for shard in shards if shard]
 
 
@@ -165,10 +190,11 @@ def _run_serial(fn: Callable, tasks: Sequence[tuple],
 
 
 def _run_pool(fn: Callable, tasks: Sequence[tuple], jobs: int,
-              cache_dir: Optional[str], use_cache: bool) -> List[Any]:
+              cache_dir: Optional[str], use_cache: bool,
+              groups: Optional[Sequence] = None) -> List[Any]:
     from concurrent.futures import ProcessPoolExecutor
 
-    shards = shard_tasks(len(tasks), jobs)
+    shards = shard_tasks(len(tasks), jobs, groups=groups)
     slots: List[Any] = [None] * len(tasks)
     failures: List[Tuple[int, str]] = []
     telemetry = (current_tracer() is not None,
@@ -198,7 +224,8 @@ def _run_pool(fn: Callable, tasks: Sequence[tuple], jobs: int,
 
 def parallel_map(fn: Callable, tasks: Sequence[tuple], jobs: int = 1,
                  cache_dir: Optional[str] = None,
-                 compile_cache: bool = True) -> List[Any]:
+                 compile_cache: bool = True,
+                 groups: Optional[Sequence] = None) -> List[Any]:
     """Run ``fn(*args)`` for every args-tuple in ``tasks``.
 
     Results come back in task order.  ``fn`` must be a module-level
@@ -208,7 +235,9 @@ def parallel_map(fn: Callable, tasks: Sequence[tuple], jobs: int = 1,
     ``jobs=1`` runs serially in-process.  ``cache_dir=None`` uses
     :func:`repro.core.cache.default_cache_dir`; ``compile_cache=False``
     disables compile caching entirely (every point pays the full
-    middle-end, the uncached-baseline configuration).
+    middle-end, the uncached-baseline configuration).  ``groups``
+    (one hashable key per task) keeps same-keyed tasks on one worker
+    (see :func:`shard_tasks`); results still come back in task order.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -221,7 +250,8 @@ def parallel_map(fn: Callable, tasks: Sequence[tuple], jobs: int = 1,
         cache = CompileCache(resolved_dir) if compile_cache else None
         return _run_serial(fn, tasks, cache)
     try:
-        return _run_pool(fn, tasks, jobs, resolved_dir, compile_cache)
+        return _run_pool(fn, tasks, jobs, resolved_dir, compile_cache,
+                         groups=groups)
     except EvaluationTaskError:
         raise
     except Exception as error:
@@ -263,9 +293,33 @@ def _eval_point(point: GridPoint) -> RunOutcome:
                       backend=point.backend, **dict(point.options))
 
 
+def _point_group(point: GridPoint):
+    """The batchable-group key of a sweep point: every point sharing
+    it compiles to the same program at the same precision, so one
+    worker can amortize compilation -- and batched execution -- over
+    the whole group.  Unparseable element types fall back to their
+    literal spelling (run_kernel will surface the error)."""
+    from .harness import canonical_source_ftype
+
+    try:
+        ftype = canonical_source_ftype(point.ftype)
+    except ValueError:
+        ftype = point.ftype
+    return (point.kernel, point.backend, ftype)
+
+
 def run_grid(points: Sequence[GridPoint], jobs: int = 1,
              cache_dir: Optional[str] = None,
              compile_cache: bool = True) -> List[RunOutcome]:
-    """Evaluate a grid of sweep points; outcomes in grid order."""
+    """Evaluate a grid of sweep points; outcomes in grid order.
+
+    Points are sharded by batchable group -- (kernel, backend,
+    canonical element type) -- so each worker sweeps whole
+    same-program groups instead of an interleaving of unrelated
+    kernels (better compile-cache locality, and the shard a batched
+    engine can amortize over).  Results are bit-identical either way.
+    """
+    points = list(points)
     return parallel_map(_eval_point, [(p,) for p in points], jobs=jobs,
-                        cache_dir=cache_dir, compile_cache=compile_cache)
+                        cache_dir=cache_dir, compile_cache=compile_cache,
+                        groups=[_point_group(p) for p in points])

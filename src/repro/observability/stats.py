@@ -190,6 +190,51 @@ def render_codegen_summary(data: dict) -> str:
     return "\n".join(lines)
 
 
+def render_batched_summary(data: dict) -> str:
+    """Batched-execution telemetry, derived from the ``batch.*``
+    counters and histograms :class:`~repro.runtime.batch.BatchContext`
+    flushes after every batched run (executions, lanes, fused ops,
+    scalar fallbacks, divergence bailouts, and the batch-size and
+    lane-occupancy histograms).  Empty string when the run never used
+    the batched engine."""
+    counters = data.get("counters", {})
+    executions = int(counters.get("batch.executions", 0))
+    if not executions:
+        return ""
+    lanes = int(counters.get("batch.lanes", 0))
+    ops = int(counters.get("batch.ops", 0))
+    fallbacks = int(counters.get("batch.scalar_fallbacks", 0))
+    lane_ops = int(counters.get("batch.fast_lanes", 0)) + fallbacks
+    lines = [f"batched execution: {executions} batch run(s), "
+             f"{lanes} lane(s), {ops} fused op(s)"]
+    if ops:
+        share = (100.0 * fallbacks / lane_ops) if lane_ops else 0.0
+        lines.append(f"  scalar fallbacks: {fallbacks} lane-op(s)"
+                     f" ({share:.1f}% of lane-ops)")
+    bailouts = int(counters.get("batch.divergence_bailouts", 0))
+    serial_lanes = int(counters.get("batch.serial_fallback_lanes", 0))
+    if bailouts or serial_lanes:
+        lines.append(f"  divergence bailouts: {bailouts}, "
+                     f"serial-fallback lanes: {serial_lanes}")
+    histograms = data.get("histograms", {})
+    occupancy = histograms.get("batch.occupancy", {})
+    if occupancy:
+        lines.append("  occupancy (fast lanes per fused op):")
+        header = f"    {'bucket':>8} {'ops':>10}"
+        lines.append(header)
+        lines.append("    " + "-" * (len(header) - 4))
+        for bucket in sorted(occupancy, key=float, reverse=True):
+            lines.append(f"    {f'{float(bucket):.0f}%':>8} "
+                         f"{int(occupancy[bucket]):>10}")
+    sizes = histograms.get("batch.size", {})
+    if sizes:
+        shape = ", ".join(f"{float(b):.0f}x{int(c)}"
+                          for b, c in sorted(sizes.items(),
+                                             key=lambda kv: float(kv[0])))
+        lines.append(f"  batch sizes (lanes x runs): {shape}")
+    return "\n".join(lines)
+
+
 def render_validation_summary(data: dict) -> str:
     """Translation-validation outcomes, derived from the ``validate.*``
     counters the harness emits (certificates by kind, per-check
@@ -310,6 +355,10 @@ def _main(argv=None) -> int:
             if codegen:
                 print()
                 print(codegen)
+            batched = render_batched_summary(data)
+            if batched:
+                print()
+                print(batched)
             validation = render_validation_summary(data)
             if validation:
                 print()

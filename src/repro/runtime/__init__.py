@@ -13,6 +13,14 @@ from .cost_model import (
     CycleCosts,
     DEFAULT_LEVELS,
 )
+from .batch import (
+    BatchContext,
+    BatchDivergence,
+    BatchInterpreter,
+    BatchResult,
+    BatchUnsupported,
+    VPBatch,
+)
 from .dispatch import InterpreterProfile
 from .interpreter import (
     ExecutionLimitExceeded,
@@ -28,6 +36,12 @@ __all__ = [
     "ExecutionResult",
     "VPRuntimeError",
     "ExecutionLimitExceeded",
+    "VPBatch",
+    "BatchContext",
+    "BatchDivergence",
+    "BatchInterpreter",
+    "BatchResult",
+    "BatchUnsupported",
     "Memory",
     "MemoryError_",
     "CostAccounting",

@@ -25,6 +25,7 @@ semantics-preserving.  This package makes that checkable:
 from .certificate import (
     CERTIFICATE_VERSION,
     STRICTNESS,
+    TRANSITIONS,
     Certificate,
     CertificateError,
     Check,
@@ -44,11 +45,13 @@ from .corpus import (
 )
 from .fuzzer import (
     ALL_ROUNDING_MODES,
+    BATCH_LANES,
     ENGINE_CONFIGS,
     FuzzOp,
     FuzzProgram,
     Mismatch,
     cross_check,
+    cross_check_batched,
     cross_check_engines,
     cross_check_rounding,
     eval_mpfr_api,
@@ -67,6 +70,7 @@ from .minimize import minimize
 
 __all__ = [
     "ALL_ROUNDING_MODES",
+    "BATCH_LANES",
     "CERTIFICATE_VERSION",
     "Certificate",
     "CertificateError",
@@ -77,10 +81,12 @@ __all__ = [
     "FuzzProgram",
     "Mismatch",
     "STRICTNESS",
+    "TRANSITIONS",
     "certificate_for_outcomes",
     "compare_reports",
     "corpus_dir",
     "cross_check",
+    "cross_check_batched",
     "cross_check_engines",
     "cross_check_rounding",
     "eval_mpfr_api",

@@ -50,6 +50,27 @@ _TRAFFIC_FIELDS = (
     "heap_allocations", "llc_misses", "dram_bytes",
 )
 
+#: The transitions the toolchain certifies, each mapped to the report
+#: invariant its checks run under.  Harnesses that build checks for one
+#: of these transitions look its strictness up here rather than
+#: hard-coding it, so the table doubles as the authoritative inventory
+#: of what "seamless" is required to mean:
+#:
+#: * ``engine↔engine`` -- any pair of execution engines over one
+#:   compiled program (jit/fast/unfused/legacy).
+#: * ``serial↔batched`` -- one serial jit run against each lane of a
+#:   batched SPMD execution; every lane's value and the shared cycle
+#:   report must match the serial run bit-for-bit.
+#: * ``pool.on↔pool.off`` -- the MPFR free-list toggle.
+#: * ``O3↔O0`` / ``O3↔O3-minus-one-pass`` -- optimization transitions.
+TRANSITIONS = {
+    "engine↔engine": "exact",
+    "serial↔batched": "exact",
+    "pool.on↔pool.off": "traffic",
+    "O3↔O0": "sane",
+    "O3↔O3-minus-one-pass": "sane",
+}
+
 
 class CertificateError(AssertionError):
     """A validation certificate did not hold (strict mode)."""

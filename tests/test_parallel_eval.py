@@ -27,6 +27,33 @@ class TestSharding:
         with pytest.raises(ValueError, match="jobs must be >= 1"):
             shard_tasks(4, 0)
 
+    def test_grouped_keeps_a_key_on_one_shard(self):
+        shards = shard_tasks(6, 2, groups=["a", "b", "a", "c", "b", "c"])
+        assert shards == [[0, 2, 3, 5], [1, 4]]
+        groups = ["a", "b", "a", "c", "b", "c"]
+        for shard in shards:
+            keys = {groups[i] for i in shard}
+            for other in shards:
+                if other is not shard:
+                    assert keys.isdisjoint({groups[i] for i in other})
+
+    def test_grouped_none_matches_round_robin(self):
+        assert shard_tasks(7, 3, groups=None) == shard_tasks(7, 3)
+
+    def test_grouped_fewer_groups_than_jobs(self):
+        shards = shard_tasks(4, 8, groups=["x", "x", "y", "y"])
+        assert shards == [[0, 1], [2, 3]]
+
+    def test_grouped_length_mismatch_rejected(self):
+        with pytest.raises(ValueError,
+                           match="groups must have one key per task"):
+            shard_tasks(3, 2, groups=["a", "b"])
+
+    def test_grouped_deterministic(self):
+        groups = [f"g{i % 5}" for i in range(40)]
+        assert shard_tasks(40, 4, groups=groups) == \
+            shard_tasks(40, 4, groups=groups)
+
 
 def _square(x):
     return x * x
