@@ -28,11 +28,12 @@ import time
 
 from repro.core import CompilerDriver
 from repro.evaluation.harness import element_stride
+from repro.observability import reproducibility_envelope
 from repro.runtime.batch import lane_view
 from repro.workloads.polybench import KERNELS, source_for
 
 FTYPE = "vpfloat<mpfr, 16, 256>"
-BENCH_FORMAT_VERSION = 1
+BENCH_FORMAT_VERSION = 2  # v2: adds the reproducibility envelope (meta)
 GEMM_FLOOR_FULL = 10.0
 GEMM_FLOOR_QUICK = 1.0
 FLOOR_LANES = 100  # the floor applies to batch sizes >= this
@@ -140,7 +141,8 @@ def main(argv=None) -> int:
 
     failures = []
     document = {"version": BENCH_FORMAT_VERSION, "ftype": FTYPE,
-                "quick": args.quick, "kernels": {}}
+                "quick": args.quick,
+                "meta": reproducibility_envelope(), "kernels": {}}
     document["kernels"]["gemm"] = bench_kernel("gemm", gemm_n, sizes,
                                                reps, failures)
     print()

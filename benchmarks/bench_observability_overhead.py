@@ -27,11 +27,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 import time
 
 from repro.core import CompilerDriver
-from repro.observability import install_telemetry, telemetry_session
+from repro.observability import install_telemetry, ledger_session, \
+    telemetry_session
 from repro.workloads.polybench import source_for
 
 FTYPE = "vpfloat<mpfr, 16, 256>"
@@ -54,10 +57,14 @@ def bench(n: int, reps: int, quick: bool) -> int:
     control_interp = program.interpreter(dispatch="fast", pool=True)
     control_interp.run("run", [n])
 
-    # Install + tear down a real telemetry session, then build the
-    # "disabled" interpreter: it must bind the (restored) None hooks.
-    with telemetry_session(trace=True, metrics=True):
-        pass
+    # Install + tear down a real telemetry session (and a run-ledger
+    # session -- its hook lives on the driver's run path), then build
+    # the "disabled" interpreter: it must bind the (restored) None
+    # hooks, and the ledger teardown must leave no residue either.
+    with tempfile.TemporaryDirectory() as tmp:
+        with telemetry_session(trace=True, metrics=True):
+            with ledger_session(os.path.join(tmp, "ledger.jsonl")):
+                program.run("run", [n], engine="fast", pool=True)
     disabled_interp = program.interpreter(dispatch="fast", pool=True)
     disabled_interp.run("run", [n])
 
@@ -68,6 +75,25 @@ def bench(n: int, reps: int, quick: bool) -> int:
         control.append(_timed_run(control_interp, n))
         disabled.append(_timed_run(disabled_interp, n))
 
+    # Driver-level pair: ``program.run`` is where the run-ledger hook
+    # lives (one ``current_ledger()`` consult per execution, a record
+    # append when enabled).  Interleaved min-of-reps like above.
+    def _timed_program_run():
+        started = time.perf_counter()
+        program.run("run", [n], engine="fast", pool=True)
+        return time.perf_counter() - started
+
+    ledger_off = []
+    ledger_on = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "ledger.jsonl")
+        _timed_program_run()  # warm
+        for _ in range(reps):
+            ledger_off.append(_timed_program_run())
+            with ledger_session(path):
+                ledger_on.append(_timed_program_run())
+        ledger_records = sum(1 for line in open(path) if line.strip())
+
     with telemetry_session(trace=True, metrics=True) as (tracer, registry):
         enabled_interp = program.interpreter(dispatch="fast", pool=True)
         enabled_interp.run("run", [n])
@@ -77,8 +103,11 @@ def bench(n: int, reps: int, quick: bool) -> int:
     best_control = min(control)
     best_disabled = min(disabled)
     best_enabled = min(enabled)
+    best_ledger_off = min(ledger_off)
+    best_ledger_on = min(ledger_on)
     overhead = best_disabled / best_control - 1.0
     enabled_overhead = best_enabled / best_control - 1.0
+    ledger_overhead = best_ledger_on / best_ledger_off - 1.0
 
     print(f"kernel=gemm ftype={FTYPE} n={n} reps={reps} (min-of-reps)")
     print(f"control  (never installed):   {best_control * 1e3:9.3f} ms")
@@ -87,12 +116,18 @@ def bench(n: int, reps: int, quick: bool) -> int:
     print(f"enabled  (trace + metrics):   {best_enabled * 1e3:9.3f} ms "
           f"({enabled_overhead:+.2%}, {spans} spans, "
           f"{len(registry.histograms)} histograms)")
+    print(f"driver, ledger disabled:      {best_ledger_off * 1e3:9.3f} ms")
+    print(f"driver, ledger enabled:       {best_ledger_on * 1e3:9.3f} ms "
+          f"({ledger_overhead:+.2%}, {ledger_records} records)")
 
     failures = []
     if spans <= 0:
         failures.append("enabled session recorded no spans")
     if not registry.histograms.get("precision.mpfr.bits"):
         failures.append("enabled session recorded no precision telemetry")
+    if ledger_records < reps:
+        failures.append(f"ledger session recorded {ledger_records} "
+                        f"record(s), expected >= {reps}")
     limit = OVERHEAD_LIMIT * (3.0 if quick else 1.0)
     if overhead > limit:
         failures.append(f"disabled-mode overhead {overhead:.2%} exceeds "

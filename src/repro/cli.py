@@ -20,7 +20,7 @@ from typing import List
 
 from .core import BACKENDS, CompileCache, CompilerDriver, ENGINES, \
     default_cache_dir
-from .observability import telemetry_session
+from .observability import ledger_session, telemetry_session
 
 
 def _parse_run_args(raw: List[str]) -> List[object]:
@@ -119,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the metrics registry (compiler, "
                              "runtime, cache, pool, precision "
                              "telemetry) as JSON")
+    parser.add_argument("--ledger", metavar="FILE", default=None,
+                        help="append compile/run records to this JSONL "
+                             "run ledger (compare runs with "
+                             "'vpfloat-stats compare')")
     return parser
 
 
@@ -167,6 +171,13 @@ def main(argv=None) -> int:
         if os.path.exists(expanded) and not os.path.isdir(expanded):
             parser.error(f"--cache-dir {args.cache_dir!r} exists and is "
                          f"not a directory")
+    if args.ledger is not None:
+        with ledger_session(args.ledger):
+            return _telemetry_run(args)
+    return _telemetry_run(args)
+
+
+def _telemetry_run(args) -> int:
     if args.trace is None and args.metrics_out is None:
         return _run(args)
     with telemetry_session(trace=args.trace is not None,

@@ -94,6 +94,26 @@ _UNSIGNED_CMPS = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}
 #: step stream; _emit_block replaces it with the next charge segment.
 _FLUSH_MARKER = "#__vpjit_charge_flush__"
 
+#: IR-location tag line: everything after it (until the next tag) came
+#: from that (block, instruction index, opcode).  Stripped from the
+#: final source by emit(), which turns the tags into a line map -- the
+#: substrate the IR profiler's wall-clock sampler resolves emitted
+#: frames against (see repro.observability.profile).
+_LOC_MARKER = "#__vpjit_loc__"
+
+#: ``<vpjit:{function}>`` code filename -> line map of the most recent
+#: materialization, for resolving sampled frames back to IR locations.
+#: Keyed by filename because that is all ``sys._current_frames`` gives
+#: the sampler; two programs sharing a function name overwrite each
+#: other (last materialized wins), which profiling one program at a
+#: time -- the only supported mode -- never notices.
+LINE_MAPS: Dict[str, Dict[int, tuple]] = {}
+
+
+def _loc_tag(block: str, ii: Optional[int], opcode: Optional[str]) -> str:
+    return (f"{_LOC_MARKER}{block}\x00"
+            f"{'' if ii is None else ii}\x00{opcode or ''}")
+
 #: MPFR runtime builtins inlined at their call sites (name -> arity).
 _MPFR_INLINE = {
     "mpfr_add": 3, "mpfr_sub": 3, "mpfr_mul": 3, "mpfr_div": 3,
@@ -355,6 +375,9 @@ class FunctionEmitter:
         self._block_segments: List[Dict[str, Dict[str, int]]] = []
         self._tele_bits: Dict[Tuple[str, int], int] = {}
         self._tele_guard: Dict[int, int] = {}
+        #: 1-based emitted-source line -> (block, inst index, opcode);
+        #: filled by emit().
+        self.line_map: Dict[int, tuple] = {}
 
     # ---- static analysis helpers --------------------------------- #
 
@@ -536,6 +559,7 @@ class FunctionEmitter:
             out.append("    " + line)
         out.append("")
         out.append(f"    def _fn({params}):")
+        out.append(_loc_tag("<fn>", None, None))
         out.append('        _chg("call", _c_call)')
         out.append("        _mark = _smark()")
         out.append(f"        _bb = {entry_index}")
@@ -546,8 +570,9 @@ class FunctionEmitter:
         out.append("        while True:")
         for bi, lines in enumerate(block_chunks):
             kw = "if" if bi == 0 else "elif"
-            out.append(f"            {kw} _bb == {bi}:")
             name = blocks[bi].name
+            out.append(_loc_tag(name, None, None))
+            out.append(f"            {kw} _bb == {bi}:")
             out.append("                if _cnt is not None:")
             out.append(f"                    _cnt[{name!r}] = "
                        f"_cnt.get({name!r}, 0) + 1")
@@ -558,7 +583,24 @@ class FunctionEmitter:
         out.append("")
         out.append("    return _fn")
         out.append("")
-        return "\n".join(out)
+        # Strip the location tags, turning them into a line map of the
+        # final source (1-based line -> (block, inst index, opcode)).
+        filtered: List[str] = []
+        line_map: Dict[int, tuple] = {}
+        current: Optional[tuple] = None
+        for line in out:
+            stripped = line.lstrip()
+            if stripped.startswith(_LOC_MARKER):
+                block_name, ii, opcode = \
+                    stripped[len(_LOC_MARKER):].split("\x00")
+                current = (block_name, int(ii) if ii else None,
+                           opcode or None)
+                continue
+            filtered.append(line)
+            if current is not None and stripped:
+                line_map[len(filtered)] = current
+        self.line_map = line_map
+        return "\n".join(filtered)
 
     # ---- blocks -------------------------------------------------- #
 
@@ -581,8 +623,13 @@ class FunctionEmitter:
 
         step_lines: List[str] = []
         for inst, ii in body:
+            step_lines.append(_loc_tag(block.name, ii, inst.opcode))
             self._emit_step(inst, bi, ii, step_lines)
-        term_lines = self._emit_terminator(block, term, bi, blocks)
+        term_lines = []
+        if term is not None:
+            term_lines.append(_loc_tag(block.name, term[1],
+                                       term[0].opcode))
+        term_lines.extend(self._emit_terminator(block, term, bi, blocks))
 
         # Segment the block's bulk charges at OpenMP region markers:
         # segment 0 is charged at block entry, segment k right after
@@ -603,6 +650,7 @@ class FunctionEmitter:
             step_lines = expanded
 
         lines = [
+            _loc_tag(block.name, None, None),
             f"_n = _interp.steps + {count}",
             "_interp.steps = _n",
             "if _n > _LIM:",
@@ -1225,10 +1273,16 @@ class CodegenStore:
         self.codes.pop(name, None)
 
     def record(self, name: str, status: str, reason: Optional[str] = None,
-               source: Optional[str] = None) -> None:
+               source: Optional[str] = None,
+               line_map: Optional[Dict[int, tuple]] = None) -> None:
         self._load()
-        self.records[name] = {"status": status, "reason": reason,
-                              "source": source}
+        entry = {"status": status, "reason": reason, "source": source}
+        if line_map:
+            # JSON sidecars stringify keys; store them that way from
+            # the start so warm and fresh records look identical.
+            entry["line_map"] = {str(lineno): list(loc)
+                                 for lineno, loc in line_map.items()}
+        self.records[name] = entry
         if self.cache is not None and self.key is not None:
             self.cache.put_codegen(self.key, {
                 "version": CODEGEN_VERSION,
@@ -1290,7 +1344,8 @@ class JitEngine:
         if fresh:
             t0 = time.perf_counter()
             try:
-                source = FunctionEmitter(interp, func).emit()
+                emitter = FunctionEmitter(interp, func)
+                source = emitter.emit()
             except _Unsupported as e:
                 if metrics is not None:
                     metrics.observe("codegen.emit_seconds",
@@ -1300,7 +1355,8 @@ class JitEngine:
             if metrics is not None:
                 metrics.observe("codegen.emit_seconds",
                                 time.perf_counter() - t0)
-            store.record(name, "jit", source=source)
+            store.record(name, "jit", source=source,
+                         line_map=emitter.line_map)
             record = store.lookup(name)
         elif record["status"] == "fallback":
             return None, "fallback", record.get("reason"), True
@@ -1312,6 +1368,13 @@ class JitEngine:
             return self._materialize(func)
         code = store.codes.get(name)
         if code is None:
+            raw_map = record.get("line_map")
+            if isinstance(raw_map, dict):
+                LINE_MAPS[f"<vpjit:{name}>"] = {
+                    int(lineno): tuple(loc)
+                    for lineno, loc in raw_map.items()
+                    if str(lineno).isdigit() and isinstance(loc, list)
+                }
             t0 = time.perf_counter()
             try:
                 code = compile(source, f"<vpjit:{name}>", "exec")

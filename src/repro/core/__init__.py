@@ -31,8 +31,11 @@ from ..observability import (
     absorb_pass_timings,
     absorb_profile,
     absorb_report,
+    absorb_unum_stats,
+    current_ledger,
     current_metrics,
     current_tracer,
+    report_fields,
 )
 from ..passes import build_o3_pipeline
 from ..passes.polly import optimize_unit
@@ -192,6 +195,8 @@ class CompiledProgram:
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
         tracer = current_tracer()
+        ledger = current_ledger()
+        wall0 = time.perf_counter() if ledger is not None else 0.0
         span = tracer.span(f"execute:{name}", cat=CAT_RUNTIME,
                            args={"backend": self.options.backend}) \
             if tracer is not None else None
@@ -215,6 +220,12 @@ class CompiledProgram:
             registry = current_metrics()
             if registry is not None:
                 absorb_report(registry, report)
+                absorb_unum_stats(registry, machine)
+            if ledger is not None:
+                ledger.record("run", function=name, backend="unum",
+                              engine=None,
+                              wall_seconds=time.perf_counter() - wall0,
+                              **report_fields(report))
             return result
         mode = self._resolve_mode(dispatch, engine)
         interpreter = Interpreter(self.module, accounting=accounting,
@@ -235,6 +246,11 @@ class CompiledProgram:
             absorb_mpfr_stats(registry, interpreter.mpfr.stats)
             if result.profile is not None:
                 absorb_profile(registry, result.profile)
+        if ledger is not None:
+            ledger.record("run", function=name,
+                          backend=self.options.backend, engine=mode,
+                          wall_seconds=time.perf_counter() - wall0,
+                          **report_fields(result.report))
         return result
 
     def run_batch(self, name: str, args: Optional[List[object]] = None,
@@ -267,6 +283,8 @@ class CompiledProgram:
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
         tracer = current_tracer()
+        ledger = current_ledger()
+        wall0 = time.perf_counter() if ledger is not None else 0.0
         span = tracer.span(f"execute-batch:{name}", cat=CAT_RUNTIME,
                            args={"backend": self.options.backend,
                                  "lanes": lanes}) \
@@ -284,9 +302,18 @@ class CompiledProgram:
                 interpreter.batch.flush(registry)
                 if span is not None:
                     span.args["fallback"] = str(exc)
-                return self._run_batch_serial(
+                serial = self._run_batch_serial(
                     name, args, lanes, cache=cache, max_steps=max_steps,
                     costs=costs, pool=pool, reason=str(exc))
+                if ledger is not None:
+                    ledger.record(
+                        "batch_run", function=name,
+                        backend=self.options.backend, engine="jit",
+                        lanes=lanes, mode="serial",
+                        fallback_reason=str(exc),
+                        wall_seconds=time.perf_counter() - wall0,
+                        **report_fields(serial.reports[0]))
+                return serial
         finally:
             if span is not None:
                 span.args["cycles"] = accounting.report.cycles
@@ -296,6 +323,12 @@ class CompiledProgram:
         if registry is not None:
             absorb_report(registry, result.report)
             absorb_mpfr_stats(registry, interpreter.mpfr.stats)
+        if ledger is not None:
+            ledger.record("batch_run", function=name,
+                          backend=self.options.backend, engine="jit",
+                          lanes=lanes, mode="batched",
+                          wall_seconds=time.perf_counter() - wall0,
+                          **report_fields(result.report))
         return BatchResult(lanes=lanes, values=values,
                            reports=[result.report] * lanes,
                            stdout=result.stdout, mode="batched",
@@ -374,6 +407,30 @@ class CompilerDriver:
         self.engine = resolve_engine(engine, backend)
 
     def compile(self, source: str, name: str = "module") -> CompiledProgram:
+        ledger = current_ledger()
+        if ledger is None:
+            return self._compile_entry(source, name, {})
+        info: dict = {}
+        wall0 = time.perf_counter()
+        program = self._compile_entry(source, name, info)
+        cached = info.get("cached", False)
+        ledger.record(
+            "compile", name=name, backend=self.options.backend,
+            engine=self.engine, opt_level=self.options.opt_level,
+            polly=self.options.polly, fingerprint=info.get("key"),
+            cached=cached,
+            wall_seconds=time.perf_counter() - wall0,
+            # A cached program carries the *original* compile's pass
+            # timings in its pickle; only a fresh compile's are this
+            # event's.
+            passes=dict(program.pass_timings) if not cached else None,
+        )
+        return program
+
+    def _compile_entry(self, source: str, name: str,
+                       info: dict) -> CompiledProgram:
+        """The compile flow proper; fills ``info`` with the cache
+        ``key`` and ``cached`` flag for the ledger wrapper."""
         tracer = current_tracer()
         registry = current_metrics()
         if registry is not None:
@@ -390,8 +447,10 @@ class CompilerDriver:
                                 engine=self.engine)
         batch_key = cache.fingerprint(source, self.options, name,
                                       engine=self.engine, batch=True)
+        info["key"] = key
         if tracer is None:
             program = cache.get(key)
+            info["cached"] = program is not None
             if program is None:
                 program = self._compile(source, name)
                 cache.put(key, program)
@@ -405,6 +464,7 @@ class CompilerDriver:
                 program = cache.get(key)
                 lookup.args["hit"] = program is not None
             span.args["cached"] = program is not None
+            info["cached"] = program is not None
             if program is None:
                 program = self._compile(source, name)
                 cache.put(key, program)

@@ -78,6 +78,16 @@ def _codegen_payload_ok(payload: dict) -> bool:
         reason = record.get("reason")
         if reason is not None and not isinstance(reason, str):
             return False
+        line_map = record.get("line_map")
+        if line_map is not None:
+            # IR-location map of the emitted source (see pyjit): line
+            # numbers (as JSON string keys) -> [block, inst, opcode].
+            if not isinstance(line_map, dict):
+                return False
+            for lineno, loc in line_map.items():
+                if not (isinstance(lineno, str) and lineno.isdigit()
+                        and isinstance(loc, list) and len(loc) == 3):
+                    return False
     return True
 
 

@@ -8,12 +8,13 @@ memory so accuracy experiments can compare at full precision.
 from __future__ import annotations
 
 import re
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..bigfloat import BigFloat
 from ..core import CompilerDriver
-from ..observability import current_metrics
+from ..observability import current_ledger, current_metrics, report_fields
 from ..runtime import CostReport
 from ..runtime.batch import lane_view
 from ..unum import UnumConfig, UnumCoprocessor, decode as unum_decode
@@ -184,6 +185,8 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
     if registry is not None:
         registry.inc("eval.points")
         registry.inc(f"eval.backend.{backend}")
+    ledger = current_ledger()
+    wall0 = time.perf_counter() if ledger is not None else 0.0
     if compile_cache is _UNSET:
         compile_cache = _COMPILE_CACHE
     if engine is None:
@@ -204,11 +207,19 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
     kind, params = parse_ftype(ftype)
 
     if batch is not None:
-        return _run_kernel_batched(program, spec, kernel, ftype, backend,
-                                   n, batch, cache=cache,
-                                   max_steps=max_steps, costs=costs,
-                                   pool=pool, read_outputs=read_outputs,
-                                   validate=validate)
+        outcome = _run_kernel_batched(program, spec, kernel, ftype,
+                                      backend, n, batch, cache=cache,
+                                      max_steps=max_steps, costs=costs,
+                                      pool=pool,
+                                      read_outputs=read_outputs,
+                                      validate=validate)
+        if ledger is not None:
+            ledger.record("eval_point", kernel=kernel, ftype=ftype,
+                          backend=backend, n=n, engine="jit",
+                          lanes=batch,
+                          wall_seconds=time.perf_counter() - wall0,
+                          **report_fields(outcome.report))
+        return outcome
 
     if backend == "unum":
         if coprocessor is None:
@@ -222,9 +233,15 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
         report.cycles += machine.scalar_cycles + machine.coprocessor.cycles
         report.serial_cycles = report.cycles - report.parallel_cycles
         if registry is not None:
-            from ..observability import absorb_report
+            from ..observability import absorb_report, absorb_unum_stats
 
             absorb_report(registry, report)
+            absorb_unum_stats(registry, machine)
+        if ledger is not None:
+            ledger.record("eval_point", kernel=kernel, ftype=ftype,
+                          backend=backend, n=n, engine=None,
+                          wall_seconds=time.perf_counter() - wall0,
+                          **report_fields(report))
         outputs: List[Number] = []
         if read_outputs:
             outputs = _read_unum_outputs(machine, int(value),
@@ -245,10 +262,30 @@ def run_kernel(kernel: str, ftype: str, n: int, backend: str = "none",
                          mpfr_stats=result.interpreter.mpfr.stats,
                          profile=result.profile,
                          pass_timings=program.pass_timings)
+    validated = None
     if validate:
-        outcome.certificate = _validate_run(
-            program, spec, outcome, engine=engine, cache=cache,
-            max_steps=max_steps, costs=costs)
+        try:
+            outcome.certificate = _validate_run(
+                program, spec, outcome, engine=engine, cache=cache,
+                max_steps=max_steps, costs=costs)
+            validated = True
+        except Exception:
+            if ledger is not None:
+                ledger.record(
+                    "eval_point", kernel=kernel, ftype=ftype,
+                    backend=backend, n=n, engine=engine,
+                    validated=False,
+                    wall_seconds=time.perf_counter() - wall0,
+                    **report_fields(result.report))
+            raise
+    if ledger is not None:
+        fields = report_fields(result.report)
+        if validated is not None:
+            fields["validated"] = validated
+        ledger.record("eval_point", kernel=kernel, ftype=ftype,
+                      backend=backend, n=n, engine=engine,
+                      wall_seconds=time.perf_counter() - wall0,
+                      **fields)
     return outcome
 
 

@@ -42,9 +42,12 @@ from ..core.cache import CompileCache, default_cache_dir
 from ..observability import (
     CAT_WORKER,
     MetricsRegistry,
+    RunLedger,
     Tracer,
+    current_ledger,
     current_metrics,
     current_tracer,
+    install_ledger,
     install_telemetry,
 )
 from .harness import RunOutcome, run_kernel, set_compile_cache
@@ -102,9 +105,18 @@ def shard_tasks(count: int, jobs: int,
 # Worker side
 # ----------------------------------------------------------------- #
 
-def _worker_init(cache_dir: Optional[str], use_cache: bool) -> None:
-    """Install this worker's compile cache (process-global default)."""
+def _worker_init(cache_dir: Optional[str], use_cache: bool,
+                 ledger_path: Optional[str] = None) -> None:
+    """Install this worker's compile cache (process-global default)
+    and, when the parent has a run ledger, reopen it here.  The ledger
+    appends whole lines through one O_APPEND descriptor per process,
+    so every worker writing to the same file is safe; under the spawn
+    start method this is the only way the parent's programmatic
+    ``install_ledger`` reaches the children (fork inherits it, but the
+    per-PID descriptor logic reopens on first use either way)."""
     set_compile_cache(CompileCache(cache_dir) if use_cache else None)
+    if ledger_path is not None:
+        install_ledger(RunLedger(ledger_path))
 
 
 def _run_shard(fn: Callable, shard: List[Tuple[int, tuple]],
@@ -199,10 +211,12 @@ def _run_pool(fn: Callable, tasks: Sequence[tuple], jobs: int,
     failures: List[Tuple[int, str]] = []
     telemetry = (current_tracer() is not None,
                  current_metrics() is not None)
+    ledger = current_ledger()
+    ledger_path = str(ledger.path) if ledger is not None else None
     with ProcessPoolExecutor(
             max_workers=len(shards), mp_context=_pool_context(),
             initializer=_worker_init,
-            initargs=(cache_dir, use_cache)) as pool:
+            initargs=(cache_dir, use_cache, ledger_path)) as pool:
         futures = [
             pool.submit(_run_shard, fn,
                         [(i, tasks[i]) for i in shard], telemetry)

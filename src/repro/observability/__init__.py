@@ -32,6 +32,19 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    RunLedger,
+    compare_ledgers,
+    current_ledger,
+    install_ledger,
+    ledger_session,
+    read_ledger,
+    report_fields,
+    reproducibility_envelope,
+    validate_record,
+)
 from .metrics import (
     MetricsRegistry,
     absorb_cache_stats,
@@ -39,6 +52,7 @@ from .metrics import (
     absorb_pass_timings,
     absorb_profile,
     absorb_report,
+    absorb_unum_stats,
 )
 from .tracer import (
     CAT_CACHE,
@@ -54,11 +68,15 @@ from .tracer import (
 
 __all__ = [
     "CAT_CACHE", "CAT_COMPILE", "CAT_PASS", "CAT_POOL", "CAT_RUNTIME",
-    "CAT_VALIDATE", "CAT_WORKER", "MetricsRegistry", "Span", "Tracer",
+    "CAT_VALIDATE", "CAT_WORKER", "LEDGER_SCHEMA_VERSION",
+    "LedgerError", "MetricsRegistry", "RunLedger", "Span", "Tracer",
     "absorb_cache_stats", "absorb_mpfr_stats", "absorb_pass_timings",
-    "absorb_profile", "absorb_report", "current_metrics",
-    "current_tracer", "enable_telemetry", "install_telemetry",
-    "telemetry_enabled", "telemetry_session",
+    "absorb_profile", "absorb_report", "absorb_unum_stats",
+    "compare_ledgers", "current_ledger", "current_metrics",
+    "current_tracer", "enable_telemetry", "install_ledger",
+    "install_telemetry", "ledger_session", "read_ledger",
+    "report_fields", "reproducibility_envelope", "telemetry_enabled",
+    "telemetry_session", "validate_record",
 ]
 
 _TRACER: Optional[Tracer] = None

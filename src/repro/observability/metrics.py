@@ -107,8 +107,24 @@ class MetricsRegistry:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MetricsRegistry":
-        if not isinstance(data, dict) or "counters" not in data:
+        """Rebuild a registry from a ``--metrics-out`` document.
+
+        Partial documents are fine: a dump missing one or more sections
+        (a run that recorded no histograms, a hand-pruned file) loads
+        with those sections empty.  Only something that is not a
+        metrics document at all -- not an object, or no recognizable
+        section, or a section of the wrong shape -- is rejected.
+        """
+        if not isinstance(data, dict):
             raise ValueError("not a vpfloat metrics document")
+        sections = ("counters", "gauges", "histograms")
+        if data and not any(key in data for key in sections) \
+                and "format" not in data:
+            raise ValueError("not a vpfloat metrics document")
+        for key in sections:
+            if not isinstance(data.get(key, {}), dict):
+                raise ValueError(
+                    f"metrics section {key!r} must be an object")
         registry = cls()
         registry.counters.update(data.get("counters", {}))
         registry.gauges.update(data.get("gauges", {}))
@@ -218,6 +234,30 @@ def absorb_pass_timings(registry: MetricsRegistry,
         return
     for name, seconds in timings.items():
         registry.inc(f"compile.pass.{name}.seconds", seconds)
+
+
+def absorb_unum_stats(registry: MetricsRegistry, machine) -> None:
+    """Fold one unum-backend run's machine + coprocessor accounting in.
+
+    The unum path bypasses the interpreter, so without this adapter its
+    cycle model and g-layer traffic never reach the registry (they only
+    lived on the :class:`~repro.runtime.unum_machine.UnumMachine`
+    object).  Emits ``unum.*`` counters: the split cycle model
+    (scalar core vs coprocessor), dynamic instruction counts, memory
+    traffic, and per-opcode g-layer op counts.
+    """
+    coprocessor = machine.coprocessor
+    stats = coprocessor.stats
+    registry.inc("unum.scalar_cycles", machine.scalar_cycles)
+    registry.inc("unum.coprocessor_cycles", coprocessor.cycles)
+    registry.inc("unum.instructions", stats.instructions)
+    registry.inc("unum.loads", stats.loads)
+    registry.inc("unum.stores", stats.stores)
+    registry.inc("unum.bytes_loaded", stats.bytes_loaded)
+    registry.inc("unum.bytes_stored", stats.bytes_stored)
+    registry.inc("unum.config_writes", stats.config_writes)
+    for opcode, count in stats.by_opcode.items():
+        registry.inc(f"unum.op.{opcode}", count)
 
 
 def absorb_report(registry: MetricsRegistry, report) -> None:

@@ -1,0 +1,403 @@
+"""IR-level profiler: cycles and wall time per IR instruction.
+
+Two complementary views of where a program's time goes:
+
+* :func:`profile_run` executes a compiled program on the **legacy
+  reference walker** with a per-instruction hook and attributes both
+  modeled cycles and measured wall time to every IR instruction
+  executed, exactly: the self-cycle bookkeeping guarantees that the sum
+  of all attributed cycles (instructions + the outer call-overhead
+  pseudo-record) equals the run's ``CostReport.cycles`` to the cycle.
+* :func:`sample_jit_run` executes on the **jit engine** at full speed
+  while a sampling thread walks ``sys._current_frames()`` and resolves
+  frames inside emitted ``<vpjit:...>`` modules back to IR locations
+  through the line maps the emitter records into ``.vpcgen`` sidecars
+  (:data:`repro.codegen.pyjit.LINE_MAPS`), reusing the jit engine's
+  hot-block counters for exact block execution counts alongside the
+  statistical wall samples.
+
+Comparing the two per opcode (:func:`divergence`) flags where the cost
+model and the host disagree -- an opcode taking a far larger share of
+wall time than of modeled cycles is either under-modeled or hitting a
+slow host path.  Both profiles export collapsed-stack flamegraphs
+(``func;func;block:op <weight>`` lines, one stack per line) that
+speedscope and Brendan Gregg's ``flamegraph.pl`` load directly.
+
+Profiling never changes what a run computes or charges: the hook wraps
+``_execute`` without touching accounting, and the sampler only reads
+frames, so values and CostReports stay bit-identical to unprofiled
+runs.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "IRProfile",
+    "OpcodeDivergence",
+    "divergence",
+    "profile_run",
+    "sample_jit_run",
+]
+
+#: Pseudo-opcode for cycles charged outside any instruction (the
+#: outermost function's call/ret overhead in the legacy walker).
+OVERHEAD = "<overhead>"
+
+
+class IRProfile:
+    """Aggregated per-instruction attribution of one profiled run.
+
+    ``records`` maps ``(function, block, inst_index, opcode)`` to
+    ``[count, cycles, wall_seconds]``; ``stacks`` maps collapsed call
+    paths (tuples of frame strings, leaf last) to the same triple.
+    ``samples`` is 0 for exact profiles and the number of wall samples
+    for sampled ones (whose ``cycles`` column is then 0).
+    """
+
+    def __init__(self, kind: str = "exact"):
+        self.kind = kind
+        self.records: Dict[tuple, List[float]] = {}
+        self.stacks: Dict[Tuple[str, ...], List[float]] = {}
+        self.total_cycles = 0
+        self.total_wall = 0.0
+        self.samples = 0
+        #: Jit hot-block execution counts (sampled profiles only).
+        self.block_counts: Dict[str, int] = {}
+        #: The run's ExecutionResult (value/report/stdout), when the
+        #: profiler drove the run itself.
+        self.result = None
+
+    # ---- accumulation ------------------------------------------- #
+
+    def add(self, key: tuple, path: Tuple[str, ...],
+            cycles: int, wall: float, count: int = 1) -> None:
+        row = self.records.get(key)
+        if row is None:
+            self.records[key] = [count, cycles, wall]
+        else:
+            row[0] += count
+            row[1] += cycles
+            row[2] += wall
+        srow = self.stacks.get(path)
+        if srow is None:
+            self.stacks[path] = [count, cycles, wall]
+        else:
+            srow[0] += count
+            srow[1] += cycles
+            srow[2] += wall
+
+    # ---- views -------------------------------------------------- #
+
+    def attributed_cycles(self) -> int:
+        return sum(int(row[1]) for row in self.records.values())
+
+    def by_opcode(self) -> Dict[str, List[float]]:
+        """opcode -> [count, cycles, wall], instruction rows merged."""
+        out: Dict[str, List[float]] = {}
+        for (_, _, _, opcode), (count, cycles, wall) in \
+                self.records.items():
+            row = out.setdefault(opcode, [0, 0, 0.0])
+            row[0] += count
+            row[1] += cycles
+            row[2] += wall
+        return out
+
+    def rows(self, limit: Optional[int] = None) -> List[tuple]:
+        """(function, block, index, opcode, count, cycles, wall) sorted
+        by the profile's primary weight, heaviest first."""
+        weight = 1 if self.kind == "exact" else 2
+        ordered = sorted(self.records.items(),
+                         key=lambda kv: -kv[1][weight])
+        if limit is not None:
+            ordered = ordered[:limit]
+        return [key + tuple(row) for key, row in ordered]
+
+    # ---- export ------------------------------------------------- #
+
+    def write_collapsed(self, path, unit: Optional[str] = None) -> int:
+        """Write a collapsed-stack flamegraph (speedscope-loadable).
+
+        ``unit`` picks the stack weight: ``"cycles"`` (default for
+        exact profiles) or ``"wall"`` (microseconds; default for
+        sampled profiles).  Returns the number of stacks written.
+        """
+        if unit is None:
+            unit = "cycles" if self.kind == "exact" else "wall"
+        if unit not in ("cycles", "wall"):
+            raise ValueError(f"unknown flamegraph unit {unit!r}")
+        written = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for stack, (count, cycles, wall) in sorted(
+                    self.stacks.items()):
+                weight = int(cycles) if unit == "cycles" \
+                    else int(round(wall * 1e6))
+                if weight <= 0:
+                    continue
+                handle.write(";".join(stack) + f" {weight}\n")
+                written += 1
+        return written
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable hot-instruction table."""
+        lines = [f"ir profile ({self.kind}): "
+                 f"{len(self.records)} locations, "
+                 f"{self.total_cycles} cycles, "
+                 f"{self.total_wall * 1e3:.2f} ms"
+                 + (f", {self.samples} samples"
+                    if self.kind == "sampled" else "")]
+        header = (f"  {'function':<18} {'block':<16} {'#':>4} "
+                  f"{'opcode':<14} {'count':>9} {'cycles':>12} "
+                  f"{'wall_us':>10}")
+        lines.append(header)
+        for func, block, index, opcode, count, cycles, wall in \
+                self.rows(limit):
+            idx = "-" if index is None else str(index)
+            lines.append(
+                f"  {func:<18} {block:<16} {idx:>4} {opcode or '-':<14} "
+                f"{int(count):>9} {int(cycles):>12} "
+                f"{wall * 1e6:>10.1f}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- #
+# Exact attribution on the legacy reference walker
+# ----------------------------------------------------------------- #
+
+class _ExactHook:
+    """The per-instruction hook: measures self cycles and self wall.
+
+    A nested call's charges land inside the outer CallInst's delta; the
+    ``attributed`` accumulators subtract whatever nested hook firings
+    already claimed, so every cycle is attributed exactly once and the
+    per-instruction sum telescopes to the report total.
+    """
+
+    def __init__(self, interp, profile: IRProfile):
+        self.interp = interp
+        self.profile = profile
+        self.attributed_cycles = 0
+        self.attributed_wall = 0.0
+        self.stack: List[tuple] = []
+        self._indices: Dict[int, Dict[int, int]] = {}
+
+    def _index(self, block, inst) -> int:
+        table = self._indices.get(id(block))
+        if table is None:
+            table = {id(i): n
+                     for n, i in enumerate(block.instructions)}
+            self._indices[id(block)] = table
+        return table.get(id(inst), -1)
+
+    def _path(self, leaf: tuple) -> Tuple[str, ...]:
+        # One in-flight instruction per frame: the stack below the leaf
+        # is the CallInst chain, so its function names are the call
+        # path.
+        path = [entry[0] for entry in self.stack[:-1]]
+        path.append(leaf[0])
+        path.append(f"{leaf[1]}:{leaf[3]}")
+        return tuple(path)
+
+    def __call__(self, block, inst, frame):
+        interp = self.interp
+        report = interp.accounting.report
+        entry = (frame.function.name, block.name,
+                 self._index(block, inst), inst.opcode)
+        self.stack.append(entry)
+        cycles0 = report.cycles
+        attributed0 = self.attributed_cycles
+        attributed_wall0 = self.attributed_wall
+        wall0 = time.perf_counter()
+        try:
+            return interp._execute(inst, frame)
+        finally:
+            delta_cycles = report.cycles - cycles0
+            delta_wall = time.perf_counter() - wall0
+            self_cycles = delta_cycles \
+                - (self.attributed_cycles - attributed0)
+            self_wall = delta_wall \
+                - (self.attributed_wall - attributed_wall0)
+            self.attributed_cycles = attributed0 + delta_cycles
+            self.attributed_wall = attributed_wall0 + delta_wall
+            self.profile.add(entry, self._path(entry),
+                             self_cycles, self_wall)
+            self.stack.pop()
+
+
+def profile_run(program, name: str, args=None, **run_kwargs) -> IRProfile:
+    """Run ``name`` on the legacy walker with exact IR attribution.
+
+    Returns an :class:`IRProfile` whose attributed cycles sum exactly
+    to ``profile.result.report.cycles``; any keyword accepted by
+    ``program.run`` (``cache``, ``costs``, ``pool``, ...) passes
+    through.  The run itself is a plain legacy-engine execution --
+    values and the CostReport are bit-identical to an unprofiled one.
+    """
+    profile = IRProfile("exact")
+    interp = program.interpreter(engine="legacy", **run_kwargs)
+    hook = _ExactHook(interp, profile)
+    interp._inst_hook = hook
+    wall0 = time.perf_counter()
+    try:
+        result = interp.run(name, args)
+    finally:
+        interp._inst_hook = None
+    total_wall = time.perf_counter() - wall0
+    # Cycles charged outside any instruction: the outermost call's
+    # call/ret overhead (nested calls' overheads belong to their
+    # CallInst and were already claimed by its hook).
+    overhead = result.report.cycles - hook.attributed_cycles
+    if overhead:
+        profile.add((name, "<call>", None, OVERHEAD),
+                    (name, OVERHEAD), overhead,
+                    max(total_wall - hook.attributed_wall, 0.0))
+    profile.total_cycles = result.report.cycles
+    profile.total_wall = total_wall
+    profile.result = result
+    return profile
+
+
+# ----------------------------------------------------------------- #
+# Wall-time sampling over the jit engine
+# ----------------------------------------------------------------- #
+
+class _Sampler(threading.Thread):
+    """Samples one thread's Python stack, resolving emitted-jit frames
+    (``<vpjit:...>`` filenames) to IR locations via the line maps."""
+
+    def __init__(self, target_thread_id: int, profile: IRProfile,
+                 interval: float):
+        super().__init__(name="vpfloat-ir-sampler", daemon=True)
+        self.target = target_thread_id
+        self.profile = profile
+        self.interval = interval
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:
+        from ..codegen.pyjit import LINE_MAPS
+
+        profile = self.profile
+        interval = self.interval
+        while not self._halt.is_set():
+            frame = sys._current_frames().get(self.target)
+            leaf = None
+            path: List[str] = []
+            while frame is not None:
+                filename = frame.f_code.co_filename
+                if filename.startswith("<vpjit:"):
+                    line_map = LINE_MAPS.get(filename)
+                    loc = line_map.get(frame.f_lineno) \
+                        if line_map else None
+                    func = filename[len("<vpjit:"):-1]
+                    if loc is not None:
+                        block, index, opcode = loc
+                    else:
+                        block, index, opcode = "<unmapped>", None, None
+                    if leaf is None:
+                        leaf = (func, block, index,
+                                opcode or f"block:{block}")
+                        path.append(f"{block}:{opcode or 'block'}")
+                    path.append(func)
+                frame = frame.f_back
+            if leaf is not None:
+                path.reverse()
+                profile.add(leaf, tuple(path), 0, interval)
+                profile.samples += 1
+            time.sleep(interval)
+
+
+def sample_jit_run(program, name: str, args=None,
+                   interval: float = 0.0005, **run_kwargs) -> IRProfile:
+    """Run ``name`` on the jit engine under a wall-clock sampler.
+
+    Returns a ``kind="sampled"`` :class:`IRProfile`: per-IR-location
+    wall shares from the samples (the ``cycles`` column stays 0 --
+    exact model attribution is :func:`profile_run`'s job), plus the jit
+    engine's exact hot-block execution counts in ``block_counts``.
+    """
+    profile = IRProfile("sampled")
+    interp = program.interpreter(engine="jit", **run_kwargs)
+    counts: Dict[str, int] = {}
+    interp._block_counts = counts
+    sampler = _Sampler(threading.get_ident(), profile, interval)
+    wall0 = time.perf_counter()
+    sampler.start()
+    try:
+        result = interp.run(name, args)
+    finally:
+        sampler.stop()
+        sampler.join(timeout=2.0)
+    profile.total_wall = time.perf_counter() - wall0
+    profile.total_cycles = result.report.cycles
+    profile.block_counts = dict(counts)
+    profile.result = result
+    return profile
+
+
+# ----------------------------------------------------------------- #
+# Model-vs-wall divergence
+# ----------------------------------------------------------------- #
+
+class OpcodeDivergence:
+    """One opcode whose wall-time share disagrees with its modeled
+    cycle share by more than the threshold factor."""
+
+    def __init__(self, opcode: str, cycle_share: float,
+                 wall_share: float):
+        self.opcode = opcode
+        self.cycle_share = cycle_share
+        self.wall_share = wall_share
+
+    @property
+    def factor(self) -> float:
+        """wall share over cycle share; >1 means the host spends
+        relatively more time here than the model predicts."""
+        if self.cycle_share <= 0.0:
+            return math.inf
+        return self.wall_share / self.cycle_share
+
+    def render(self) -> str:
+        factor = self.factor
+        shown = "inf" if math.isinf(factor) else f"{factor:.2f}x"
+        return (f"{self.opcode}: wall {self.wall_share * 100:.1f}% vs "
+                f"model {self.cycle_share * 100:.1f}% ({shown})")
+
+
+def divergence(model: IRProfile, wall: Optional[IRProfile] = None,
+               threshold: float = 2.0,
+               min_share: float = 0.02) -> List[OpcodeDivergence]:
+    """Opcodes where wall-time share and modeled-cycle share disagree.
+
+    ``model`` supplies cycle shares; ``wall`` supplies wall shares
+    (defaults to ``model`` itself, whose exact hook measured both).
+    Only opcodes holding at least ``min_share`` of either total are
+    considered, and a divergence is flagged when the shares differ by
+    more than ``threshold`` in either direction.
+    """
+    wall = wall if wall is not None else model
+    cycles_by_op = {op: row[1] for op, row in model.by_opcode().items()}
+    wall_by_op = {op: row[2] for op, row in wall.by_opcode().items()}
+    total_cycles = sum(cycles_by_op.values()) or 1
+    total_wall = sum(wall_by_op.values()) or 1.0
+    out: List[OpcodeDivergence] = []
+    for opcode in sorted(set(cycles_by_op) | set(wall_by_op)):
+        if opcode == OVERHEAD:
+            continue
+        cycle_share = cycles_by_op.get(opcode, 0) / total_cycles
+        wall_share = wall_by_op.get(opcode, 0.0) / total_wall
+        if max(cycle_share, wall_share) < min_share:
+            continue
+        lo, hi = sorted((cycle_share, wall_share))
+        if lo <= 0.0 or hi / lo > threshold:
+            out.append(OpcodeDivergence(opcode, cycle_share,
+                                        wall_share))
+    out.sort(key=lambda d: -abs(d.wall_share - d.cycle_share))
+    return out

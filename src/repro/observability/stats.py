@@ -38,12 +38,17 @@ class ValidationError(ValueError):
 
 def validate_metrics_document(data) -> None:
     """Raise :class:`ValidationError` unless ``data`` is a well-formed
-    metrics document (the ``--metrics-out`` schema)."""
+    metrics document (the ``--metrics-out`` schema).
+
+    Partial documents are valid: a section that is absent reads as
+    empty (a run may legitimately record no histograms, and pruned or
+    hand-built files drop whole sections); only a section of the wrong
+    shape is an error.
+    """
     if not isinstance(data, dict):
         raise ValidationError("metrics document must be a JSON object")
+    data = {**{"counters": {}, "gauges": {}, "histograms": {}}, **data}
     for section in ("counters", "gauges", "histograms"):
-        if section not in data:
-            raise ValidationError(f"metrics document missing {section!r}")
         if not isinstance(data[section], dict):
             raise ValidationError(f"metrics section {section!r} must be "
                                   f"an object")
@@ -283,6 +288,72 @@ def render_validation_summary(data: dict) -> str:
     return "\n".join(lines)
 
 
+def render_unum_summary(data: dict) -> str:
+    """Unum coprocessor telemetry, derived from the ``unum.*`` counters
+    :func:`~repro.observability.metrics.absorb_unum_stats` emits (split
+    cycle model, dynamic instruction counts, memory traffic, per-opcode
+    g-layer ops).  Empty string when the run never used the unum
+    backend."""
+    counters = data.get("counters", {})
+    instructions = int(counters.get("unum.instructions", 0))
+    scalar = int(counters.get("unum.scalar_cycles", 0))
+    coproc = int(counters.get("unum.coprocessor_cycles", 0))
+    if not instructions and not scalar and not coproc:
+        return ""
+    lines = [f"unum coprocessor: {instructions} instruction(s), "
+             f"{scalar} scalar + {coproc} coprocessor cycle(s)"]
+    loads = int(counters.get("unum.loads", 0))
+    stores = int(counters.get("unum.stores", 0))
+    if loads or stores:
+        lines.append(
+            f"  memory: {loads} load(s) / "
+            f"{int(counters.get('unum.bytes_loaded', 0))} B in, "
+            f"{stores} store(s) / "
+            f"{int(counters.get('unum.bytes_stored', 0))} B out")
+    config = int(counters.get("unum.config_writes", 0))
+    if config:
+        lines.append(f"  g-layer config writes: {config}")
+    ops = {name[len("unum.op."):]: int(value)
+           for name, value in counters.items()
+           if name.startswith("unum.op.")}
+    if ops:
+        header = f"  {'opcode':<12} {'count':>9}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for opcode in sorted(ops, key=lambda o: (-ops[o], o)):
+            lines.append(f"  {opcode:<12} {ops[opcode]:>9}")
+    return "\n".join(lines)
+
+
+def render_ledger_summary(path: str) -> str:
+    """A digest of a run-ledger file: record counts per event kind and
+    the distinct benchmark keys recorded."""
+    from .ledger import comparison_key, read_ledger
+
+    records, problems = read_ledger(path)
+    if not records:
+        text = "ledger: no data (empty file)" if not problems else \
+            f"ledger: no data ({len(problems)} unparsable line(s))"
+        return "\n".join([text] + [f"  SKIPPED {p}" for p in problems])
+    by_event: dict = {}
+    keys = set()
+    for record in records:
+        event = record.get("event", "?")
+        by_event[event] = by_event.get(event, 0) + 1
+        key = comparison_key(record)
+        if key is not None:
+            keys.add(key)
+    shape = ", ".join(f"{count} {event}"
+                      for event, count in sorted(by_event.items()))
+    lines = [f"ledger: {len(records)} record(s) ({shape})"]
+    for key in sorted(keys, key=str):
+        label = "/".join(str(part) for part in key if part is not None)
+        lines.append(f"  {label}")
+    for problem in problems:
+        lines.append(f"  SKIPPED {problem}")
+    return "\n".join(lines)
+
+
 def _load(path: str):
     with open(path) as handle:
         return json.load(handle)
@@ -291,10 +362,18 @@ def _load(path: str):
 def _kind(data) -> str:
     if isinstance(data, dict) and "traceEvents" in data:
         return "trace"
-    if isinstance(data, dict) and "counters" in data:
+    if isinstance(data, dict) and "schema" in data and "event" in data:
+        return "ledger"
+    if isinstance(data, dict) and ("counters" in data
+                                   or "gauges" in data
+                                   or "histograms" in data
+                                   or "format" in data
+                                   or not data):
+        # An empty object is a metrics dump that recorded nothing.
         return "metrics"
     raise ValidationError("unrecognized telemetry artifact (expected a "
-                          "metrics or Chrome trace JSON document)")
+                          "metrics, Chrome trace, or run-ledger JSON "
+                          "document)")
 
 
 # ----------------------------------------------------------------- #
@@ -305,15 +384,52 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vpfloat-stats",
         description="Render or validate saved vpfloat telemetry "
-                    "artifacts (--metrics-out / --trace files).",
+                    "artifacts (--metrics-out / --trace files and "
+                    "run-ledger JSONL files). "
+                    "'vpfloat-stats compare A B' gates a candidate "
+                    "ledger against a baseline (exit 3 on regression).",
     )
     parser.add_argument("files", nargs="+", metavar="FILE",
-                        help="metrics or trace JSON file(s)")
+                        help="metrics, trace, or run-ledger file(s)")
     parser.add_argument("--validate", action="store_true",
                         help="validate schemas only (exit 1 on failure)")
     parser.add_argument("--json", action="store_true",
                         help="echo the parsed document instead of the "
                              "text report")
+    return parser
+
+
+def build_compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vpfloat-stats compare",
+        description="Noise-aware A/B comparison of two run ledgers. "
+                    "Deterministic model metrics (cycles, instructions, "
+                    "traffic) gate exactly; wall-clock gates on "
+                    "median-of-k with a MAD allowance, and only when "
+                    "both ledgers came from the same host. Exits 3 on "
+                    "regression, 1 on unusable input, else 0.",
+    )
+    parser.add_argument("baseline", help="baseline ledger (JSONL)")
+    parser.add_argument("candidate", help="candidate ledger (JSONL)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable comparison report")
+    parser.add_argument("--wall-mad-factor", type=float, default=5.0,
+                        help="wall allowance: this many baseline MADs "
+                             "above the baseline median (default 5)")
+    parser.add_argument("--wall-rel-floor", type=float, default=0.10,
+                        help="minimum relative wall allowance "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--det-rel-tol", type=float, default=0.0,
+                        help="relative slack on deterministic metrics "
+                             "(default 0: the model is bit-exact)")
+    parser.add_argument("--gate-wall", choices=("auto", "on", "off"),
+                        default="auto",
+                        help="gate wall metrics: auto = only when both "
+                             "ledgers share a hostname (default)")
+    parser.add_argument("--require-overlap", action="store_true",
+                        help="fail (exit 1) when the ledgers share no "
+                             "comparable benchmark keys -- CI uses this "
+                             "so an empty baseline cannot silently pass")
     return parser
 
 
@@ -325,17 +441,101 @@ def main(argv=None) -> int:
         return 0
 
 
+def _compare_main(argv: List[str]) -> int:
+    from .ledger import LedgerError, compare_ledgers, read_ledger
+
+    args = build_compare_parser().parse_args(argv)
+    loaded = {}
+    for path in (args.baseline, args.candidate):
+        try:
+            records, problems = read_ledger(path)
+        except (OSError, UnicodeDecodeError) as error:
+            print(f"{path}: {error}", file=sys.stderr)
+            return 1
+        for problem in problems:
+            print(f"{path}: skipped {problem}", file=sys.stderr)
+        loaded[path] = records
+    gate_wall = {"auto": None, "on": True, "off": False}[args.gate_wall]
+    try:
+        regressions, improvements, compared, skipped = compare_ledgers(
+            loaded[args.baseline], loaded[args.candidate],
+            wall_mad_factor=args.wall_mad_factor,
+            wall_rel_floor=args.wall_rel_floor,
+            deterministic_rel_tol=args.det_rel_tol,
+            gate_wall=gate_wall)
+    except LedgerError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({
+            "baseline": args.baseline,
+            "candidate": args.candidate,
+            "compared": compared,
+            "regressions": [{
+                "key": list(r.key), "metric": r.metric,
+                "baseline": r.baseline, "candidate": r.candidate,
+                "threshold": r.threshold, "kind": r.kind,
+            } for r in regressions],
+            "improvements": [{
+                "key": list(r.key), "metric": r.metric,
+                "baseline": r.baseline, "candidate": r.candidate,
+            } for r in improvements],
+            "unmatched_keys": [list(key) for key in skipped],
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"compared {compared} metric(s) across ledgers: "
+              f"{len(regressions)} regression(s), "
+              f"{len(improvements)} improvement(s), "
+              f"{len(skipped)} unmatched key(s)")
+        for regression in regressions:
+            print(f"  REGRESSION {regression.render()}")
+        for improvement in improvements:
+            print(f"  improved   {improvement.render()}")
+        for key in skipped:
+            label = "/".join(str(p) for p in key if p is not None)
+            print(f"  unmatched  {label}")
+    if args.require_overlap and compared == 0:
+        print("no comparable benchmark keys between the two ledgers",
+              file=sys.stderr)
+        return 1
+    return 3 if regressions else 0
+
+
 def _main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch by peeking, so the original positional-files
+    # usage ('vpfloat-stats m.json t.json') keeps working unchanged.
+    if argv and argv[0] == "compare":
+        return _compare_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     status = 0
     for path in args.files:
         try:
-            data = _load(path)
-            kind = _kind(data)
+            try:
+                data = _load(path)
+                kind = _kind(data)
+            except json.JSONDecodeError:
+                # Multi-line file: not a JSON document, maybe a JSONL
+                # run ledger -- the strict read below decides.
+                data, kind = None, "ledger"
             if kind == "trace":
                 validate_trace_document(data)
-            else:
+            elif kind == "metrics":
                 validate_metrics_document(data)
+            else:
+                from .ledger import LedgerError, read_ledger
+
+                if args.validate:
+                    # Validation is strict; the render path below is
+                    # lenient (a crashed writer's torn line must not
+                    # hide the rest of the history).
+                    try:
+                        read_ledger(path, strict=True)
+                    except LedgerError as error:
+                        raise ValidationError(str(error)) from None
+                else:
+                    read_ledger(path)  # surfaces OSError only
         except (OSError, json.JSONDecodeError, ValidationError) as error:
             print(f"{path}: INVALID: {error}", file=sys.stderr)
             status = 1
@@ -346,23 +546,31 @@ def _main(argv=None) -> int:
         if len(args.files) > 1:
             print(f"== {path} ==")
         if args.json:
-            print(json.dumps(data, indent=2, sort_keys=True))
+            if kind == "ledger":
+                from .ledger import read_ledger
+
+                records, _ = read_ledger(path)
+                print(json.dumps(records, indent=2, sort_keys=True))
+            else:
+                print(json.dumps(data, indent=2, sort_keys=True))
         elif kind == "trace":
             print(render_trace_summary(data))
+        elif kind == "ledger":
+            print(render_ledger_summary(path))
         else:
-            print(MetricsRegistry.from_dict(data).render())
-            codegen = render_codegen_summary(data)
-            if codegen:
-                print()
-                print(codegen)
-            batched = render_batched_summary(data)
-            if batched:
-                print()
-                print(batched)
-            validation = render_validation_summary(data)
-            if validation:
-                print()
-                print(validation)
+            registry = MetricsRegistry.from_dict(data)
+            if not (registry.counters or registry.gauges
+                    or registry.histograms):
+                print("metrics: no data (empty document)")
+                continue
+            print(registry.render())
+            for section in (render_codegen_summary(data),
+                            render_batched_summary(data),
+                            render_validation_summary(data),
+                            render_unum_summary(data)):
+                if section:
+                    print()
+                    print(section)
     return status
 
 

@@ -210,6 +210,9 @@ class Interpreter:
         #: Hot-block counts dict installed by the traced call path for
         #: the duration of one jit-engine call; None when untraced.
         self._block_counts: Optional[Dict[str, int]] = None
+        #: Per-instruction profiling hook (legacy walker only); set by
+        #: repro.observability.profile, never by the interpreter.
+        self._inst_hook = None
         self._install_builtins()
         self._init_globals()
 
@@ -576,6 +579,7 @@ class Interpreter:
 
     def _run_block(self, block, frame: Frame):
         profile = self.profile
+        hook = self._inst_hook
         for inst in block.instructions:
             if isinstance(inst, PhiInst):
                 continue
@@ -587,7 +591,13 @@ class Interpreter:
             self.accounting.instruction()
             if profile is not None:
                 profile.count_opcode(inst.opcode)
-            result = self._execute(inst, frame)
+            if hook is not None:
+                # IR profiler (observability.profile): the hook wraps
+                # _execute, measuring per-instruction deltas; charges
+                # are untouched, so reports stay bit-identical.
+                result = hook(block, inst, frame)
+            else:
+                result = self._execute(inst, frame)
             if isinstance(inst, RetInst):
                 return ("ret", result)
             if isinstance(inst, BranchInst):
