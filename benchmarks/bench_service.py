@@ -1,0 +1,180 @@
+"""Latency benchmark: warm daemon vs cold ``vpfloat-cc``.
+
+Measures the end-to-end latency of a cached gemm compile+run served by
+a warm ``vpfloat-serve`` daemon (persistent workers, shared artifact
+store, JIT-hot programs) against the cold-start path the daemon
+replaces: a fresh ``vpfloat-cc`` subprocess with an empty compile
+cache per invocation (interpreter boot + imports + full compile +
+run).
+
+Verifies bit-identity while it measures -- every daemon reply's value
+digest must equal the in-process serial reference -- and asserts the
+speedup floor (>= 5x full mode, >= 2x quick).  Emits a JSON document
+next to the other bench artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --json-out results/bench_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.observability import reproducibility_envelope  # noqa: E402
+from repro.service.client import ServiceClient, wait_for  # noqa: E402
+from repro.workloads.polybench import source_for  # noqa: E402
+
+BENCH_FORMAT_VERSION = 1
+KERNEL = "gemm"
+FTYPE = "vpfloat<mpfr, 16, 64>"
+N = 6
+FLOOR_FULL = 5.0
+FLOOR_QUICK = 2.0
+REPS_FULL = 10
+REPS_QUICK = 3
+
+
+def _serial_reference() -> str:
+    from repro.evaluation.harness import run_kernel
+    from repro.validation.certificate import values_digest
+
+    outcome = run_kernel(KERNEL, FTYPE, N, backend="mpfr",
+                         engine="jit")
+    return values_digest([outcome.value] + list(outcome.outputs))
+
+
+def bench_cold(workdir: str, reps: int) -> list:
+    """Per rep: a fresh ``vpfloat-cc`` subprocess over a fresh compile
+    cache -- the full cold path a daemonless workflow pays."""
+    source_path = os.path.join(workdir, f"{KERNEL}.c")
+    with open(source_path, "w", encoding="utf-8") as handle:
+        handle.write(source_for(KERNEL, FTYPE))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(__file__), "..", "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    walls = []
+    for rep in range(reps):
+        cache_dir = os.path.join(workdir, f"cold-cache-{rep}")
+        wall0 = time.perf_counter()
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", source_path,
+             "--backend", "mpfr", "--run", "run", "--args", str(N),
+             "--cache-dir", cache_dir],
+            check=True, env=env, stdout=subprocess.DEVNULL)
+        walls.append(time.perf_counter() - wall0)
+        print(f"  cold rep {rep + 1}/{reps}: {walls[-1] * 1e3:.1f} ms")
+    return walls
+
+
+def bench_warm(workdir: str, reps: int, reference: str,
+               failures: list) -> list:
+    """Median request latency against a primed daemon."""
+    socket_path = os.path.join(workdir, "serve.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(__file__), "..", "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.daemon",
+         "--socket", socket_path, "--workers", "1",
+         "--cache-dir", os.path.join(workdir, "store")],
+        env=env, stdout=subprocess.DEVNULL)
+    try:
+        wait_for(socket_path, timeout=60.0)
+        with ServiceClient(socket_path) as client:
+            # Prime: first request pays the one-time compile+store.
+            primed = client.run(KERNEL, FTYPE, N, backend="mpfr")
+            if primed["digest"] != reference:
+                failures.append(
+                    f"priming digest {primed['digest']} != serial "
+                    f"reference {reference}")
+            walls = []
+            for rep in range(reps):
+                wall0 = time.perf_counter()
+                result = client.run(KERNEL, FTYPE, N, backend="mpfr")
+                walls.append(time.perf_counter() - wall0)
+                if result["digest"] != reference:
+                    failures.append(
+                        f"warm rep {rep}: digest {result['digest']} "
+                        f"!= serial reference {reference}")
+                print(f"  warm rep {rep + 1}/{reps}: "
+                      f"{walls[-1] * 1e3:.1f} ms")
+            client.shutdown()
+        daemon.wait(timeout=30)
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+    return walls
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer reps, relaxed floor (CI smoke)")
+    parser.add_argument("--json-out", default=None)
+    args = parser.parse_args(argv)
+    reps = REPS_QUICK if args.quick else REPS_FULL
+    floor = FLOOR_QUICK if args.quick else FLOOR_FULL
+
+    failures: list = []
+    reference = _serial_reference()
+    print(f"bench_service: {KERNEL} n={N} at {FTYPE}, {reps} rep(s)")
+    with tempfile.TemporaryDirectory(prefix="vpfloat-bench-") as workdir:
+        print("cold vpfloat-cc (fresh process + empty cache per rep):")
+        cold = bench_cold(workdir, reps)
+        print("warm vpfloat-serve (persistent worker, primed store):")
+        warm = bench_warm(workdir, reps, reference, failures)
+
+    cold_median = statistics.median(cold)
+    warm_median = statistics.median(warm)
+    speedup = cold_median / warm_median if warm_median else float("inf")
+    print(f"cold median {cold_median * 1e3:.1f} ms, warm median "
+          f"{warm_median * 1e3:.1f} ms -> {speedup:.1f}x")
+    if speedup < floor:
+        failures.append(f"warm speedup {speedup:.2f}x below the "
+                        f"{floor:.1f}x floor")
+
+    document = {
+        "version": BENCH_FORMAT_VERSION,
+        "kernel": KERNEL, "ftype": FTYPE, "n": N,
+        "quick": args.quick, "reps": reps,
+        "meta": reproducibility_envelope(),
+        "cold_wall_seconds": cold,
+        "warm_wall_seconds": warm,
+        "cold_median_seconds": cold_median,
+        "warm_median_seconds": warm_median,
+        "speedup_warm_vs_cold": speedup,
+        "floor": floor,
+        "digest": reference,
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {args.json_out}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: every reply bit-identical to serial, speedup floor "
+              "met")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

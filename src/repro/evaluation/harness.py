@@ -410,6 +410,18 @@ def _validate_run(program, spec, outcome: RunOutcome,
         strict=True)
 
 
+def read_lane_outputs(interpreter, base: int, count: int, ftype: str,
+                      backend: str, lane: int = 0) -> List[Number]:
+    """Extract one lane's output elements from simulated memory.
+
+    The public face of the output reader for callers that hold a
+    finished interpreter directly (the compile/run service's workers
+    read every lane of a coalesced batch this way); serial cells
+    ignore ``lane``."""
+    return _read_interpreter_outputs(interpreter, base, count, ftype,
+                                     backend, lane=lane)
+
+
 def _read_interpreter_outputs(interpreter, base: int, count: int,
                               ftype: str, backend: str,
                               lane: int = 0) -> List[Number]:

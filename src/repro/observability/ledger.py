@@ -51,8 +51,12 @@ LEDGER_SCHEMA_VERSION = 1
 #: parallel engine's workers honour it so one sweep shares one file.
 LEDGER_ENV = "VPFLOAT_LEDGER"
 
-#: Record kinds the schema admits.
-EVENTS = ("compile", "run", "batch_run", "eval_point", "bench")
+#: Record kinds the schema admits.  ``service`` records are written by
+#: the compile/run daemon (:mod:`repro.service`): one per client
+#: request (op, coalesced lane count, attempts, outcome) plus fault
+#: events (worker deaths, request timeouts).
+EVENTS = ("compile", "run", "batch_run", "eval_point", "bench",
+          "service")
 
 _NUMERIC = (int, float)
 

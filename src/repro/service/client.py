@@ -1,0 +1,351 @@
+"""Client side of the compile/run service (``vpfloat-client``).
+
+:class:`ServiceClient` is the blocking client (one Unix-socket
+connection, id-correlated request/reply); :class:`AsyncServiceClient`
+is the asyncio twin the test suite drives daemons with in-process.
+
+The CLI front end covers operational use (``ping`` / ``run`` /
+``compile`` / ``stats`` / ``shutdown``), readiness probing
+(``wait``), and a self-checking concurrent workload (``mix``) that
+hammers the daemon from several threads and verifies every reply's
+value digest against an in-process serial ``run_kernel`` reference --
+the CI smoke job's teeth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .protocol import (
+    ProtocolError,
+    decode,
+    default_socket_path,
+    encode,
+    request,
+)
+
+
+class ServiceError(RuntimeError):
+    """A reply carried ``ok: false``; ``code``/``error`` kept whole."""
+
+    def __init__(self, error: dict):
+        super().__init__(f"[{error.get('code')}] {error.get('message')}")
+        self.code = error.get("code")
+        self.error = error
+
+
+class ServiceClient:
+    """Blocking line-protocol client over one connection."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 timeout: float = 120.0):
+        self.socket_path = socket_path or default_socket_path()
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._stash: Dict[int, dict] = {}
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def call(self, op: str, **fields) -> dict:
+        """One request -> its ``result`` (raises on error replies)."""
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self._sock.sendall(encode(request(op, request_id,
+                                              **fields)))
+            reply = self._read_reply(request_id)
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error") or
+                               {"code": "internal",
+                                "message": "malformed error reply"})
+        return reply.get("result") or {}
+
+    def _read_reply(self, request_id: int) -> dict:
+        if request_id in self._stash:
+            return self._stash.pop(request_id)
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("daemon closed the connection")
+            reply = decode(line)
+            got = reply.get("id")
+            if got == request_id:
+                return reply
+            if got is None:
+                return reply  # unidentifiable bad_request reply
+            self._stash[got] = reply
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def run(self, kernel: str, ftype: str, n: int, **fields) -> dict:
+        return self.call("run", kernel=kernel, ftype=ftype, n=n,
+                         **fields)
+
+    def compile(self, kernel: str, ftype: str, **fields) -> dict:
+        return self.call("compile", kernel=kernel, ftype=ftype,
+                         **fields)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+
+class AsyncServiceClient:
+    """asyncio twin of :class:`ServiceClient` (tests drive the daemon
+    and several of these clients on one event loop)."""
+
+    def __init__(self, socket_path: Optional[str] = None):
+        self.socket_path = socket_path or default_socket_path()
+        self._reader = None
+        self._writer = None
+        self._next_id = 0
+        self._stash: Dict[int, dict] = {}
+
+    async def connect(self) -> "AsyncServiceClient":
+        import asyncio
+
+        self._reader, self._writer = \
+            await asyncio.open_unix_connection(self.socket_path)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def send(self, op: str, **fields) -> int:
+        """Fire one request without waiting; returns its id (pair
+        with :meth:`reply` -- this is how tests pipeline)."""
+        self._next_id += 1
+        self._writer.write(encode(request(op, self._next_id,
+                                          **fields)))
+        await self._writer.drain()
+        return self._next_id
+
+    async def reply(self, request_id: int) -> dict:
+        """The raw reply object for ``request_id`` (any order)."""
+        if request_id in self._stash:
+            return self._stash.pop(request_id)
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("daemon closed the connection")
+            reply = decode(line)
+            got = reply.get("id")
+            if got == request_id or got is None:
+                return reply
+            self._stash[got] = reply
+
+    async def call(self, op: str, **fields) -> dict:
+        reply = await self.reply(await self.send(op, **fields))
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error") or {})
+        return reply.get("result") or {}
+
+
+def wait_for(socket_path: Optional[str] = None,
+             timeout: float = 30.0) -> dict:
+    """Block until the daemon answers a ping (connection retries with
+    backoff); returns the ping result or raises TimeoutError."""
+    path = socket_path or default_socket_path()
+    deadline = time.monotonic() + timeout
+    delay = 0.05
+    while True:
+        try:
+            with ServiceClient(path, timeout=5.0) as client:
+                return client.ping()
+        except (OSError, ConnectionError, ProtocolError):
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no daemon on {path} within {timeout:.0f}s") \
+                    from None
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+# ----------------------------------------------------------------- #
+# Self-checking concurrent workload (the CI smoke job)
+# ----------------------------------------------------------------- #
+
+def _serial_digest(kernel: str, ftype: str, n: int) -> str:
+    """The in-process serial reference digest for one point."""
+    from ..evaluation.harness import run_kernel
+    from ..validation.certificate import values_digest
+
+    outcome = run_kernel(kernel, ftype, n, backend="mpfr",
+                         engine="jit")
+    return values_digest([outcome.value] + list(outcome.outputs))
+
+
+def run_mix(socket_path: Optional[str], clients: int, requests: int,
+            kernels: List[str], ftype: str, n: int,
+            validate: bool = False, out=sys.stdout) -> int:
+    """``clients`` threads x ``requests`` mixed compile/run requests,
+    every run reply checked bit-for-bit against a serial reference.
+
+    Returns the number of failures (0 is the CI pass condition).
+    """
+    references = {kernel: _serial_digest(kernel, ftype, n)
+                  for kernel in kernels}
+    failures: List[str] = []
+    lock = threading.Lock()
+
+    def fail(message: str) -> None:
+        with lock:
+            failures.append(message)
+
+    def worker(index: int) -> None:
+        try:
+            with ServiceClient(socket_path) as client:
+                for i in range(requests):
+                    kernel = kernels[(index + i) % len(kernels)]
+                    if i % 4 == 3:
+                        client.compile(kernel=kernel, ftype=ftype)
+                        continue
+                    fields = {"backend": "mpfr"}
+                    if validate:
+                        fields["validate"] = True
+                    result = client.run(kernel, ftype, n, **fields)
+                    if result.get("digest") != references[kernel]:
+                        fail(f"client {index} req {i}: {kernel} digest "
+                             f"{result.get('digest')} != serial "
+                             f"{references[kernel]}")
+                    certificate = result.get("certificate")
+                    if validate and (certificate is None
+                                     or not certificate.get("passed")):
+                        fail(f"client {index} req {i}: certificate "
+                             f"missing or failed: {certificate}")
+        except Exception as error:
+            fail(f"client {index}: {type(error).__name__}: {error}")
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    checked = clients * requests
+    if failures:
+        for message in failures:
+            print(f"FAIL {message}", file=sys.stderr)
+    print(f"mix: {checked} requests from {clients} client(s), "
+          f"{len(failures)} failure(s)", file=out)
+    return len(failures)
+
+
+# ----------------------------------------------------------------- #
+# CLI
+# ----------------------------------------------------------------- #
+
+def _dump(payload: dict) -> None:
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vpfloat-client",
+        description="client for the vpfloat compile/run daemon")
+    parser.add_argument("--socket", default=None,
+                        help="daemon socket path")
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("ping")
+    commands.add_parser("stats")
+    commands.add_parser("shutdown")
+
+    wait = commands.add_parser("wait",
+                               help="block until the daemon is up")
+    wait.add_argument("--timeout", type=float, default=30.0)
+
+    run = commands.add_parser("run", help="execute one kernel point")
+    run.add_argument("kernel")
+    run.add_argument("--ftype", default="vpfloat<mpfr, 16, 64>")
+    run.add_argument("--n", type=int, default=6)
+    run.add_argument("--backend", default="mpfr")
+    run.add_argument("--engine", default=None)
+    run.add_argument("--validate", action="store_true",
+                     help="attach a serial<->service certificate")
+
+    compile_ = commands.add_parser("compile",
+                                   help="warm one program in the store")
+    compile_.add_argument("kernel")
+    compile_.add_argument("--ftype", default="vpfloat<mpfr, 16, 64>")
+    compile_.add_argument("--backend", default="mpfr")
+
+    mix = commands.add_parser(
+        "mix", help="concurrent self-checking workload (CI smoke)")
+    mix.add_argument("--clients", type=int, default=4)
+    mix.add_argument("--requests", type=int, default=8)
+    mix.add_argument("--kernels", default="gemm,atax",
+                     help="comma-separated kernel names")
+    mix.add_argument("--ftype", default="vpfloat<mpfr, 16, 64>")
+    mix.add_argument("--n", type=int, default=6)
+    mix.add_argument("--validate", action="store_true")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "wait":
+            _dump(wait_for(args.socket, timeout=args.timeout))
+            return 0
+        if args.command == "mix":
+            wait_for(args.socket, timeout=30.0)
+            kernels = [k for k in args.kernels.split(",") if k]
+            return 1 if run_mix(args.socket, args.clients,
+                                args.requests, kernels, args.ftype,
+                                args.n, validate=args.validate) else 0
+        with ServiceClient(args.socket) as client:
+            if args.command == "ping":
+                _dump(client.ping())
+            elif args.command == "stats":
+                _dump(client.stats())
+            elif args.command == "shutdown":
+                _dump(client.shutdown())
+            elif args.command == "run":
+                fields = {"backend": args.backend}
+                if args.engine:
+                    fields["options"] = {"engine": args.engine}
+                if args.validate:
+                    fields["validate"] = True
+                _dump(client.run(args.kernel, args.ftype, args.n,
+                                 **fields))
+            elif args.command == "compile":
+                _dump(client.compile(kernel=args.kernel,
+                                     ftype=args.ftype,
+                                     backend=args.backend))
+        return 0
+    except ServiceError as error:
+        print(f"vpfloat-client: {error}", file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError, TimeoutError) as error:
+        print(f"vpfloat-client: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""Fault injection against the compile/run daemon.
+
+Every scenario here kills, hangs, corrupts, or disconnects something
+mid-flight and asserts the daemon's contract: it stays up, retries
+within bounds, never drops unrelated requests, and keeps replies
+bit-identical across faults.  All scenarios are deterministic --
+workers are parked on file latches and progress is observed through
+the inline ``stats``/``ping`` ops, never inferred from sleeps.
+"""
+
+import asyncio
+
+from repro.service import ServiceError
+
+from service_utils import (
+    FTYPE,
+    connect,
+    park_worker,
+    serial_digest,
+    service,
+    wait_until,
+)
+
+
+def test_worker_death_is_retried_and_unrelated_requests_survive(tmp_path):
+    """A shard dying mid-request costs one bounded retry; a request
+    queued behind the fault is served untouched."""
+
+    async def scenario():
+        async with service(tmp_path, workers=1, max_retries=1) as daemon:
+            client = await connect(daemon)
+            other = await connect(daemon)
+            latch = tmp_path / "died-once"
+            fault_id = await client.send("debug", action="die_once",
+                                         path=str(latch))
+            run_id = await other.send("run", kernel="trmm",
+                                      ftype=FTYPE, n=4, backend="mpfr")
+            fault = await client.reply(fault_id)
+            assert fault["ok"], fault
+            assert fault["result"]["survived"] is True
+            assert fault["result"]["attempts"] == 2
+            run = await other.reply(run_id)
+            assert run["ok"], run
+            assert run["result"]["digest"] == serial_digest("trmm", 4)
+            counters = daemon.registry.counters
+            assert counters.get("service.worker_deaths") == 1
+            assert counters.get("service.retries") == 1
+            await client.close()
+            await other.close()
+
+    asyncio.run(scenario())
+
+
+def test_permanent_worker_death_yields_bounded_structured_error(tmp_path):
+    """A request that kills every shard it touches exhausts its retry
+    budget and fails structurally; the daemon itself stays healthy."""
+
+    async def scenario():
+        async with service(tmp_path, workers=1, max_retries=1) as daemon:
+            client = await connect(daemon)
+            reply = await client.reply(
+                await client.send("debug", action="die"))
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "worker_failed"
+            assert reply["error"]["attempts"] == 2
+            assert daemon.registry.counters.get(
+                "service.worker_deaths") == 2
+            # The pool was rebuilt: real work still executes.
+            result = await client.call("run", kernel="trmm",
+                                       ftype=FTYPE, n=4,
+                                       backend="mpfr")
+            assert result["digest"] == serial_digest("trmm", 4)
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_hung_worker_trips_timeout_and_is_reaped(tmp_path):
+    """A shard that stops responding hits the per-attempt deadline,
+    is reaped, and its slot serves the next request."""
+
+    async def scenario():
+        async with service(tmp_path, workers=1, max_retries=0,
+                           request_timeout=2.0) as daemon:
+            client = await connect(daemon)
+            hung_pid = daemon.workers[0].pid
+            reply = await client.reply(
+                await client.send("debug", action="hang"))
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "timeout"
+            assert daemon.registry.counters.get("service.timeouts") == 1
+            assert daemon.workers[0].pid != hung_pid
+            result = await client.call("run", kernel="trmm",
+                                       ftype=FTYPE, n=4,
+                                       backend="mpfr")
+            assert result["digest"] == serial_digest("trmm", 4)
+            await client.close()
+
+    asyncio.run(scenario())
+
+
+def test_corrupt_store_entry_recompiles_bit_identically(tmp_path):
+    """Corrupting artifact-store entries between daemon lifetimes is
+    absorbed: the poisoned pickles count as store errors, the program
+    recompiles, and the reply digest is unchanged."""
+
+    async def scenario_prime():
+        async with service(tmp_path, workers=1) as daemon:
+            client = await connect(daemon)
+            result = await client.call("run", kernel="trmm",
+                                       ftype=FTYPE, n=4,
+                                       backend="mpfr")
+            await client.close()
+            return result["digest"]
+
+    async def scenario_corrupted():
+        # A fresh daemon: new shards with empty memory tiers, so the
+        # poisoned disk entries are actually read.
+        async with service(tmp_path, workers=1) as daemon:
+            client = await connect(daemon)
+            result = await client.call("run", kernel="trmm",
+                                       ftype=FTYPE, n=4,
+                                       backend="mpfr")
+            stats = await client.call("stats")
+            await client.close()
+            return result["digest"], stats
+
+    digest = asyncio.run(scenario_prime())
+    store = tmp_path / "store"
+    poisoned = 0
+    for entry in store.glob("*.vpc"):
+        entry.write_bytes(b"not a pickle")
+        poisoned += 1
+    assert poisoned, "priming run stored nothing"
+    redigest, stats = asyncio.run(scenario_corrupted())
+    assert redigest == digest
+    assert stats["counters"].get("service.store.errors", 0) >= 1
+
+
+def test_client_disconnect_mid_reply_does_not_kill_daemon(tmp_path):
+    """A client vanishing while its request executes: the reply is
+    dropped on the floor and every other client is unaffected."""
+
+    async def scenario():
+        async with service(tmp_path, workers=1) as daemon:
+            doomed = await connect(daemon)
+            watcher = await connect(daemon)
+            latch = tmp_path / "release"
+            await park_worker(daemon, doomed, latch)
+            # The worker is now executing on doomed's behalf; vanish.
+            await doomed.close()
+            await wait_until(lambda: len(daemon.clients) == 1,
+                             message="daemon to notice the disconnect")
+            latch.touch()
+            # The daemon must survive replying into the void and keep
+            # serving the remaining client.
+            result = await watcher.call("run", kernel="trmm",
+                                        ftype=FTYPE, n=4,
+                                        backend="mpfr")
+            assert result["digest"] == serial_digest("trmm", 4)
+            ping = await watcher.call("ping")
+            assert ping["pong"] is True
+            await watcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_queued_requests_from_vanished_client_are_not_executed(tmp_path):
+    """Requests still queued (not yet dispatched) when their client
+    disconnects are discarded, not run on a dead connection's behalf."""
+
+    async def scenario():
+        async with service(tmp_path, workers=1) as daemon:
+            doomed = await connect(daemon)
+            watcher = await connect(daemon)
+            latch = tmp_path / "release"
+            await park_worker(daemon, watcher, latch)
+            await doomed.send("run", kernel="trmm", ftype=FTYPE, n=4,
+                              backend="mpfr")
+            await wait_until(lambda: daemon._pending_count() == 1,
+                             message="doomed request to queue")
+            await doomed.close()
+            await wait_until(lambda: len(daemon.clients) == 1,
+                             message="daemon to notice the disconnect")
+            latch.touch()
+            reply = await watcher.reply(1)  # the parked debug request
+            assert reply["ok"]
+            stats = await watcher.call("stats")
+            assert stats["pending"] == 0
+            assert stats["counters"].get("service.op.run", 0) == 1
+            # The orphan never dispatched.
+            assert stats["counters"].get("service.dispatches", 0) == 1
+            await watcher.close()
+
+    asyncio.run(scenario())
+
+
+def test_debug_ops_are_rejected_without_opt_in(tmp_path):
+    """The fault-injection side door is closed by default."""
+
+    async def scenario():
+        async with service(tmp_path, workers=1,
+                           allow_debug=False) as daemon:
+            client = await connect(daemon)
+            try:
+                await client.call("debug", action="die")
+                raise AssertionError("debug op was accepted")
+            except ServiceError as error:
+                assert error.code == "unsupported"
+            await client.close()
+
+    asyncio.run(scenario())
