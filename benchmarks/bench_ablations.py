@@ -1,13 +1,31 @@
 """Ablation benches for the design choices DESIGN.md calls out.
 
 Each toggles one optimization of the MPFR backend (or the Polly-lite /
-loop-idiom machinery) and quantifies its contribution to the Fig. 1
-advantage on a representative kernel.
+loop-idiom machinery, or the precision-specialized kernel tier) and
+quantifies its contribution on a representative kernel.  The module
+runs two ways:
+
+* under pytest-benchmark (the perf-gate path): each ablation is one
+  test asserting its invariant;
+* standalone, emitting the v2 reproducibility-envelope JSON artifact
+  the other benches produce::
+
+      PYTHONPATH=src python benchmarks/bench_ablations.py --json-out out.json
 """
+
+import argparse
+import json
+import sys
+import time
 
 import pytest
 
+from repro.core import CompilerDriver
 from repro.evaluation.harness import run_kernel
+from repro.observability import reproducibility_envelope
+from repro.workloads.polybench import source_for
+
+BENCH_FORMAT_VERSION = 2  # v2: carries the reproducibility envelope
 
 
 def _cycles(kernel, n=8, prec=128, **kwargs):
@@ -16,103 +34,200 @@ def _cycles(kernel, n=8, prec=128, **kwargs):
                       **kwargs).report.cycles
 
 
-class TestObjectReuseAblation:
+# ----------------------------------------------------------------- #
+# Ablation measurements (shared by the tests and the JSON artifact)
+# ----------------------------------------------------------------- #
+
+def ablate_reuse() -> dict:
     """Paper §III-C1 item 7: reuse of dead MPFR objects."""
+    on = _cycles("durbin", n=12)
+    off = _cycles("durbin", n=12, reuse_objects=False)
+    return {"cycles_on": on, "cycles_off": off,
+            "gain": round(off / on, 3)}
 
+
+def ablate_specialize() -> dict:
+    """Paper item 2: mpfr_*_d / _si specialized entry points.
+
+    deriche's filter coefficients are *runtime* doubles (built from
+    exp()), exactly the case the _d entry points cover; compile-time
+    double literals are hoisted as MPFR constants instead and are
+    specialization-neutral."""
+    on = _cycles("deriche", n=10)
+    off = _cycles("deriche", n=10, specialize_scalars=False)
+    return {"cycles_on": on, "cycles_off": off,
+            "gain": round(off / on, 3)}
+
+
+def ablate_in_place() -> dict:
+    """Paper: 'performs in-place operation' -- dest aliases the element."""
+    on = _cycles("gemm", n=8)
+    off = _cycles("gemm", n=8, in_place_stores=False)
+    return {"cycles_on": on, "cycles_off": off,
+            "gain": round(off / on, 3)}
+
+
+def ablate_loop_idiom() -> dict:
+    """Paper §III-B: memset/memcpy recognition (unum types only)."""
+    kwargs = {"backend": "unum", "read_outputs": False}
+    on = run_kernel("jacobi-1d", "vpfloat<unum, 3, 6>", 48,
+                    **kwargs).report.cycles
+    off = run_kernel("jacobi-1d", "vpfloat<unum, 3, 6>", 48,
+                     enable_loop_idiom=False, **kwargs).report.cycles
+    return {"cycles_on": on, "cycles_off": off}
+
+
+def ablate_polly() -> dict:
+    """The +/-Polly axis of Figs. 1-2: tiling a large-working-set gemm."""
+    off = run_kernel("gemm", "double", 40, backend="none",
+                     read_outputs=False).report
+    on = run_kernel("gemm", "double", 40, backend="none",
+                    polly=True, read_outputs=False).report
+    return {"l1_hits_polly": on.cache_hits[0],
+            "l1_hits_plain": off.cache_hits[0],
+            "llc_miss_polly": on.llc_misses,
+            "llc_miss_plain": off.llc_misses}
+
+
+def ablate_fma() -> dict:
+    """FP_CONTRACT: a*b+c as one fused call (mpfr_fma / gfma)."""
+    off = _cycles("gemm", n=8)
+    on = _cycles("gemm", n=8, contract_fma=True)
+    return {"cycles_on": on, "cycles_off": off,
+            "gain": round(off / on, 3)}
+
+
+def ablate_kernel_tier(reps: int = 3) -> dict:
+    """The precision-specialized kernel tier vs the generic kernels.
+
+    The tier is a strength reduction: modeled cycles must be identical
+    across policies (asserted), so the ablation's payoff is host
+    wall-clock on the jit engine.  One compile per policy (the tier is
+    part of the cache fingerprint), timed runs after a warmup."""
+    source = source_for("gemm", "vpfloat<mpfr, 16, 53>")
+    walls = {}
+    cycles = {}
+    for tier in ("small", "generic"):
+        program = CompilerDriver(backend="mpfr", engine="jit",
+                                 kernel_tier=tier).compile(
+            source, name="gemm")
+        program.run("run", [8])  # warm the jit sidecar
+        best = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            result = program.run("run", [8])
+            best = min(best, time.perf_counter() - started)
+        walls[tier] = best
+        cycles[tier] = result.report.cycles
+    return {"cycles_tiered": cycles["small"],
+            "cycles_generic": cycles["generic"],
+            "wall_tiered_seconds": walls["small"],
+            "wall_generic_seconds": walls["generic"],
+            "wall_gain": round(walls["generic"] / walls["small"], 3)}
+
+
+# ----------------------------------------------------------------- #
+# pytest-benchmark entry points (the perf-gate path)
+# ----------------------------------------------------------------- #
+
+class TestObjectReuseAblation:
     def test_reuse_on_vs_off(self, benchmark):
-        def measure():
-            on = _cycles("durbin", n=12)
-            off = _cycles("durbin", n=12, reuse_objects=False)
-            return on, off
-
-        on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
-        assert on <= off  # reuse never hurts
-        benchmark.extra_info["cycles_reuse_on"] = on
-        benchmark.extra_info["cycles_reuse_off"] = off
-        benchmark.extra_info["gain"] = round(off / on, 3)
+        row = benchmark.pedantic(ablate_reuse, rounds=1, iterations=1)
+        assert row["cycles_on"] <= row["cycles_off"]  # reuse never hurts
+        benchmark.extra_info.update(row)
 
 
 class TestSpecializationAblation:
-    """Paper item 2: mpfr_*_d / _si specialized entry points."""
-
     def test_specialize_on_vs_off(self, benchmark):
-        def measure():
-            # deriche's filter coefficients are *runtime* doubles (built
-            # from exp()), exactly the case the _d entry points cover;
-            # compile-time double literals are hoisted as MPFR constants
-            # instead and are specialization-neutral.
-            on = _cycles("deriche", n=10)
-            off = _cycles("deriche", n=10, specialize_scalars=False)
-            return on, off
-
-        on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
-        assert on < off
-        benchmark.extra_info["gain"] = round(off / on, 3)
+        row = benchmark.pedantic(ablate_specialize, rounds=1,
+                                 iterations=1)
+        assert row["cycles_on"] < row["cycles_off"]
+        benchmark.extra_info.update(row)
 
 
 class TestInPlaceStoresAblation:
-    """Paper: 'performs in-place operation' -- dest aliases the element."""
-
     def test_in_place_on_vs_off(self, benchmark):
-        def measure():
-            on = _cycles("gemm", n=8)
-            off = _cycles("gemm", n=8, in_place_stores=False)
-            return on, off
-
-        on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
-        assert on < off
-        benchmark.extra_info["gain"] = round(off / on, 3)
+        row = benchmark.pedantic(ablate_in_place, rounds=1, iterations=1)
+        assert row["cycles_on"] < row["cycles_off"]
+        benchmark.extra_info.update(row)
 
 
 class TestLoopIdiomAblation:
-    """Paper §III-B: memset/memcpy recognition (unum types only)."""
-
     def test_idiom_on_vs_off(self, benchmark):
-        source_kwargs = {"backend": "unum", "read_outputs": False}
-
-        def measure():
-            on = run_kernel("jacobi-1d", "vpfloat<unum, 3, 6>", 48,
-                            **source_kwargs).report.cycles
-            off = run_kernel("jacobi-1d", "vpfloat<unum, 3, 6>", 48,
-                             enable_loop_idiom=False,
-                             **source_kwargs).report.cycles
-            return on, off
-
-        on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
-        assert on <= off * 1.02  # idiom may be neutral on this kernel
-        benchmark.extra_info["cycles_on"] = on
-        benchmark.extra_info["cycles_off"] = off
+        row = benchmark.pedantic(ablate_loop_idiom, rounds=1,
+                                 iterations=1)
+        # idiom may be neutral on this kernel
+        assert row["cycles_on"] <= row["cycles_off"] * 1.02
+        benchmark.extra_info.update(row)
 
 
 class TestPollyAblation:
-    """The +/-Polly axis of Figs. 1-2: tiling a large-working-set gemm."""
-
     def test_polly_on_vs_off(self, benchmark):
-        def measure():
-            off = run_kernel("gemm", "double", 40, backend="none",
-                             read_outputs=False)
-            on = run_kernel("gemm", "double", 40, backend="none",
-                            polly=True, read_outputs=False)
-            return on.report, off.report
-
-        on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
+        row = benchmark.pedantic(ablate_polly, rounds=1, iterations=1)
         # Tiling must not lose L1 locality; report both hit counts.
-        benchmark.extra_info["l1_hits_polly"] = on.cache_hits[0]
-        benchmark.extra_info["l1_hits_plain"] = off.cache_hits[0]
-        benchmark.extra_info["llc_miss_polly"] = on.llc_misses
-        benchmark.extra_info["llc_miss_plain"] = off.llc_misses
-        assert on.llc_misses <= off.llc_misses * 1.5
+        assert row["llc_miss_polly"] <= row["llc_miss_plain"] * 1.5
+        benchmark.extra_info.update(row)
 
 
 class TestFMAContractionAblation:
-    """FP_CONTRACT: a*b+c as one fused call (mpfr_fma / gfma)."""
-
     def test_fma_on_vs_off(self, benchmark):
-        def measure():
-            off = _cycles("gemm", n=8)
-            on = _cycles("gemm", n=8, contract_fma=True)
-            return on, off
+        row = benchmark.pedantic(ablate_fma, rounds=1, iterations=1)
+        # one call (and one rounding) saved per MAC
+        assert row["cycles_on"] < row["cycles_off"]
+        benchmark.extra_info.update(row)
 
-        on, off = benchmark.pedantic(measure, rounds=1, iterations=1)
-        assert on < off  # one call (and one rounding) saved per MAC
-        benchmark.extra_info["gain"] = round(off / on, 3)
+
+class TestKernelTierAblation:
+    def test_tiered_vs_generic(self, benchmark):
+        row = benchmark.pedantic(ablate_kernel_tier, rounds=1,
+                                 iterations=1)
+        # The tier must not perturb the cost model, only host time.
+        assert row["cycles_tiered"] == row["cycles_generic"]
+        benchmark.extra_info.update(row)
+
+
+# ----------------------------------------------------------------- #
+# Standalone JSON artifact (the bench_batched.py-style path)
+# ----------------------------------------------------------------- #
+
+ABLATIONS = {
+    "object_reuse": ablate_reuse,
+    "scalar_specialization": ablate_specialize,
+    "in_place_stores": ablate_in_place,
+    "loop_idiom": ablate_loop_idiom,
+    "polly_tiling": ablate_polly,
+    "fma_contraction": ablate_fma,
+    "kernel_tier": ablate_kernel_tier,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json-out", metavar="FILE", default=None,
+                        help="write the ablation rows as JSON "
+                             "(CI artifact)")
+    args = parser.parse_args(argv)
+    document = {"version": BENCH_FORMAT_VERSION,
+                "meta": reproducibility_envelope(), "ablations": {}}
+    failures = []
+    for name, measure in ABLATIONS.items():
+        row = measure()
+        document["ablations"][name] = row
+        shape = ", ".join(f"{k}={v}" for k, v in sorted(row.items()))
+        print(f"{name:<22} {shape}")
+    tier = document["ablations"]["kernel_tier"]
+    if tier["cycles_tiered"] != tier["cycles_generic"]:
+        failures.append("kernel_tier: tiered run's modeled cycles "
+                        "differ from the generic kernels")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {args.json_out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,8 @@ import time
 
 from repro.core import CompilerDriver
 from repro.evaluation.harness import element_stride
-from repro.observability import reproducibility_envelope
+from repro.observability import bench_floor_scale, \
+    reproducibility_envelope
 from repro.runtime.batch import lane_view
 from repro.workloads.polybench import KERNELS, source_for
 
@@ -150,7 +151,8 @@ def main(argv=None) -> int:
                                                     sizes, reps, failures)
     print()
 
-    floor = GEMM_FLOOR_QUICK if args.quick else GEMM_FLOOR_FULL
+    floor = (GEMM_FLOOR_QUICK if args.quick else GEMM_FLOOR_FULL) \
+        * bench_floor_scale()
     floored = [row for row in document["kernels"]["gemm"]["batches"]
                if row["lanes"] >= FLOOR_LANES]
     if not floored:  # quick mode: apply the floor to the largest batch

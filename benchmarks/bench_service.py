@@ -33,7 +33,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.observability import reproducibility_envelope  # noqa: E402
+from repro.observability import bench_floor_scale, \
+    reproducibility_envelope  # noqa: E402
 from repro.service.client import ServiceClient, wait_for  # noqa: E402
 from repro.workloads.polybench import source_for  # noqa: E402
 
@@ -129,7 +130,8 @@ def main(argv=None) -> int:
     parser.add_argument("--json-out", default=None)
     args = parser.parse_args(argv)
     reps = REPS_QUICK if args.quick else REPS_FULL
-    floor = FLOOR_QUICK if args.quick else FLOOR_FULL
+    floor = (FLOOR_QUICK if args.quick else FLOOR_FULL) \
+        * bench_floor_scale()
 
     failures: list = []
     reference = _serial_reference()

@@ -411,3 +411,33 @@ class BigFloat:
 
     def __float__(self) -> float:
         return self.to_float()
+
+
+class _FastBigFloat(BigFloat):
+    """Kernel-internal constructor that skips field validation.
+
+    The specialized kernel tiers (:mod:`repro.codegen.smallfloat`,
+    :mod:`repro.codegen.kernels`) construct values whose significands
+    are normalized *by construction* -- the rounding tail guarantees
+    ``2**(prec-1) <= mant < 2**prec`` -- so re-checking ``bit_length``
+    and re-raising on malformed fields in ``BigFloat.__init__`` is pure
+    overhead on the hottest path in the system.  This subclass restores
+    plain attribute assignment and assigns the five slots directly.
+
+    Instances are ordinary :class:`BigFloat` values everywhere else
+    (same slots, comparisons, hashing, arithmetic); pickling goes
+    through the inherited ``__reduce__`` and rebuilds a validating
+    ``BigFloat``.  Nothing outside the kernel tiers should construct
+    one, and nothing may mutate one after it escapes a kernel.
+    """
+
+    __slots__ = ()
+    __setattr__ = object.__setattr__
+
+    def __init__(self, kind: Kind, sign: int, mant: int, exp: int,
+                 prec: int):
+        self.kind = kind
+        self.sign = sign
+        self.mant = mant
+        self.exp = exp
+        self.prec = prec

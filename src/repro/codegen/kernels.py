@@ -67,11 +67,28 @@ def _incr_cond(rm: RoundingMode, sticky: bool):
     return f"_s == {sign} and {inexact}"
 
 
+def _clamp_lines(prec: int, exp_bits: int, pad: str) -> list:
+    """Exponent-range clamp tail, transcribing the jit engine's
+    per-call clamp block (``_emit_clamp``) with the handle's
+    ``exp_bits`` constant-folded: finite results whose top exponent
+    exceeds ``2**(exp_bits-1)`` overflow to inf, those below
+    ``-2**(exp_bits-1)`` underflow to zero."""
+    limit = 1 << (exp_bits - 1)
+    return [
+        f"{pad}_e2 = _e + {prec}",
+        f"{pad}if _e2 > {limit}:",
+        f"{pad}    return _NINF if _s else _PINF",
+        f"{pad}if _e2 < {-limit}:",
+        f"{pad}    return _NZ if _s else _PZ",
+    ]
+
+
 def _round_lines(prec: int, rm: RoundingMode, sticky: bool,
-                 indent: int) -> str:
+                 indent: int, exp_bits=None) -> str:
     """Source block: round ``(_s, _m, _e)`` (+ ``_st``) and return the
     finished BigFloat.  Transcribes ``round_significand`` with ``prec``
-    and ``rm`` constant-folded."""
+    and ``rm`` constant-folded.  With ``exp_bits``, the exponent-range
+    clamp is folded in ahead of construction."""
     pad = " " * indent
     lines = [
         f"{pad}_nb = _m.bit_length()",
@@ -106,6 +123,8 @@ def _round_lines(prec: int, rm: RoundingMode, sticky: bool,
             f"{pad}            _q >>= 1",
             f"{pad}            _e += 1",
         ]
+    if exp_bits is not None:
+        lines.extend(_clamp_lines(prec, exp_bits, pad))
     lines.append(f"{pad}return _BF(_KF, _s, _q, _e, {prec})")
     return "\n".join(lines)
 
@@ -114,7 +133,8 @@ def _round_lines(prec: int, rm: RoundingMode, sticky: bool,
 # Per-op sources
 # ----------------------------------------------------------------- #
 
-def _addsub_source(prec: int, rm: RoundingMode, flip: bool) -> str:
+def _addsub_source(prec: int, rm: RoundingMode, flip: bool,
+                   exp_bits=None) -> str:
     mb = ("-b.mant if b.sign == 0 else b.mant" if flip
           else "b.mant if b.sign == 0 else -b.mant")
     return f"""\
@@ -138,24 +158,24 @@ def _kernel(a, b):
         else:
             _s = 0
             _m = _t
-{_round_lines(prec, rm, False, 8)}
+{_round_lines(prec, rm, False, 8, exp_bits)}
     return _FB(a, b)
 """
 
 
-def _mul_source(prec: int, rm: RoundingMode) -> str:
+def _mul_source(prec: int, rm: RoundingMode, exp_bits=None) -> str:
     return f"""\
 def _kernel(a, b):
     if a.kind is _KF and b.kind is _KF:
         _s = a.sign ^ b.sign
         _m = a.mant * b.mant
         _e = a.exp + b.exp
-{_round_lines(prec, rm, False, 8)}
+{_round_lines(prec, rm, False, 8, exp_bits)}
     return _FB(a, b)
 """
 
 
-def _div_source(prec: int, rm: RoundingMode) -> str:
+def _div_source(prec: int, rm: RoundingMode, exp_bits=None) -> str:
     return f"""\
 def _kernel(a, b):
     if a.kind is _KF and b.kind is _KF:
@@ -174,12 +194,13 @@ def _kernel(a, b):
         _e = a.exp - b.exp - _shd
         _st = _r != 0
         _s = _s
-{_round_lines(prec, rm, True, 8)}
+{_round_lines(prec, rm, True, 8, exp_bits)}
     return _FB(a, b)
 """
 
 
-def _fma_source(prec: int, rm: RoundingMode, flip: bool) -> str:
+def _fma_source(prec: int, rm: RoundingMode, flip: bool,
+                exp_bits=None) -> str:
     mc = ("-c.mant if c.sign == 0 else c.mant" if flip
           else "c.mant if c.sign == 0 else -c.mant")
     return f"""\
@@ -211,12 +232,12 @@ def _kernel(a, b, c):
             else:
                 _s = 0
                 _m = _t
-{_round_lines(prec, rm, False, 12)}
+{_round_lines(prec, rm, False, 12, exp_bits)}
     return _FB(a, b, c)
 """
 
 
-def _sqrt_source(prec: int, rm: RoundingMode) -> str:
+def _sqrt_source(prec: int, rm: RoundingMode, exp_bits=None) -> str:
     return f"""\
 def _kernel(a):
     if a.kind is _KF and a.sign == 0:
@@ -231,18 +252,18 @@ def _kernel(a):
         _s = 0
         _m = _root
         _e = (a.exp - _shq) >> 1
-{_round_lines(prec, rm, True, 8)}
+{_round_lines(prec, rm, True, 8, exp_bits)}
     return _FB(a)
 """
 
 
 _SOURCES = {
-    "add": lambda prec, rm: _addsub_source(prec, rm, False),
-    "sub": lambda prec, rm: _addsub_source(prec, rm, True),
+    "add": lambda prec, rm, eb=None: _addsub_source(prec, rm, False, eb),
+    "sub": lambda prec, rm, eb=None: _addsub_source(prec, rm, True, eb),
     "mul": _mul_source,
     "div": _div_source,
-    "fma": lambda prec, rm: _fma_source(prec, rm, False),
-    "fms": lambda prec, rm: _fma_source(prec, rm, True),
+    "fma": lambda prec, rm, eb=None: _fma_source(prec, rm, False, eb),
+    "fms": lambda prec, rm, eb=None: _fma_source(prec, rm, True, eb),
     "sqrt": _sqrt_source,
 }
 
@@ -254,30 +275,53 @@ _LIBRARY = {
 
 
 def kernel_source(op: str, prec: int,
-                  rm: RoundingMode = RoundingMode.NEAREST_EVEN) -> str:
-    """The specialized Python source for ``(op, prec, rm)``."""
+                  rm: RoundingMode = RoundingMode.NEAREST_EVEN,
+                  exp_bits=None) -> str:
+    """The specialized Python source for ``(op, prec, rm[, exp_bits])``."""
     if op not in _SOURCES:
         raise ValueError(f"no specialized kernel for {op!r}; "
                          f"choose from {KERNEL_OPS}")
     if prec < 1:
         raise ValueError(f"precision must be >= 1, got {prec}")
-    return _SOURCES[op](prec, rm)
+    return _SOURCES[op](prec, rm, exp_bits)
+
+
+def clamped_fallback(fallback, prec: int, exp_bits: int) -> Callable:
+    """Wrap a library fallback so finite results obey the handle's
+    exponent-range clamp, exactly as the jit engine's per-call clamp
+    block would have (fallbacks can legitimately produce finite values
+    outside the destination handle's exponent range)."""
+    limit = 1 << (exp_bits - 1)
+
+    def clamped(*args, _fb=fallback, _p=prec, _lim=limit):
+        v = _fb(*args)
+        if v.kind is Kind.FINITE:
+            e = v.exp + _p
+            if e > _lim:
+                return BigFloat.inf(_p, v.sign)
+            if e < -_lim:
+                return BigFloat.zero(_p, v.sign)
+        return v
+
+    return clamped
 
 
 def specialized_kernel(op: str, prec: int,
-                       rm: RoundingMode = RoundingMode.NEAREST_EVEN
-                       ) -> Callable:
+                       rm: RoundingMode = RoundingMode.NEAREST_EVEN,
+                       exp_bits=None) -> Callable:
     """A compiled kernel bit-identical to ``arith.<op>(..., prec, rm)``.
 
     Binary ops take ``(a, b)``, fused ops ``(a, b, c)``, sqrt ``(a)``;
     all operands must already be BigFloats.  Memoized per
-    ``(op, prec, rm)``.
+    ``(op, prec, rm, exp_bits)``.  With ``exp_bits``, the destination
+    handle's exponent-range clamp is folded into the kernel (finite
+    results only), matching the jit engine's per-call clamp block.
     """
-    key = (op, prec, rm.value)
+    key = (op, prec, rm.value, exp_bits)
     kernel = _CACHE.get(key)
     if kernel is not None:
         return kernel
-    source = kernel_source(op, prec, rm)
+    source = kernel_source(op, prec, rm, exp_bits)
     library = _LIBRARY[op]
     if op == "sqrt":
         def fallback(a, _lib=library, _p=prec, _r=rm):
@@ -288,6 +332,8 @@ def specialized_kernel(op: str, prec: int,
     else:
         def fallback(a, b, _lib=library, _p=prec, _r=rm):
             return _lib(a, b, _p, _r)
+    if exp_bits is not None:
+        fallback = clamped_fallback(fallback, prec, exp_bits)
     namespace = {
         "_KF": Kind.FINITE,
         "_KZ": Kind.ZERO,
@@ -297,7 +343,16 @@ def specialized_kernel(op: str, prec: int,
         "_SZERO": BigFloat.zero(
             prec, 1 if rm is RoundingMode.TOWARD_NEGATIVE else 0),
     }
-    code = compile(source, f"<vpkernel:{op}/{prec}/{rm.value}>", "exec")
+    if exp_bits is not None:
+        namespace.update({
+            "_PINF": BigFloat.inf(prec, 0),
+            "_NINF": BigFloat.inf(prec, 1),
+            "_PZ": BigFloat.zero(prec, 0),
+            "_NZ": BigFloat.zero(prec, 1),
+        })
+    code = compile(source,
+                   f"<vpkernel:{op}/{prec}/{rm.value}/{exp_bits}>",
+                   "exec")
     exec(code, namespace)
     kernel = namespace["_kernel"]
     _CACHE[key] = kernel

@@ -75,8 +75,8 @@ from ..ir import (
 )
 from ..observability.tracer import CAT_COMPILE
 from . import CODEGEN_VERSION
-from .batch_kernels import batch_kernel_factory
-from .kernels import specialized_kernel
+from .batch_kernels import select_batch_kernel
+from .smallfloat import select_scalar_kernel
 
 #: vpfloat binary opcodes with an inlinable specialized kernel.
 _VP_OPS = {"fadd": "add", "fsub": "sub", "fmul": "mul", "fdiv": "div"}
@@ -127,21 +127,30 @@ class _Unsupported(Exception):
 
 
 class _KernelMap(dict):
-    """``prec -> specialized RNDN kernel`` for one arith op.
+    """``(prec, exp_bits) -> specialized RNDN kernel`` for one op.
 
     MPFR handle precisions are runtime values (they flow through
     ``mpfr_init2``), so inlined mpfr call sites key their kernel by the
-    destination handle's precision at execution time; the dict hit is a
-    single C-level lookup and misses specialize on first use.
+    destination handle's precision and exponent-range clamp at
+    execution time; the dict hit is a single C-level lookup and misses
+    specialize on first use.  Misses pick the kernel tier (tiered
+    smallfloat vs generic) from the interpreter's policy and, when the
+    run is observing, bind per-tier counting wrappers.
     """
 
-    def __init__(self, op: str):
+    def __init__(self, op: str, interp=None):
         super().__init__()
         self.op = op
+        self.interp = interp
 
-    def __missing__(self, prec: int):
-        kernel = specialized_kernel(self.op, prec, RNDN)
-        self[prec] = kernel
+    def __missing__(self, key):
+        prec, exp_bits = key
+        interp = self.interp
+        kernel = select_scalar_kernel(
+            self.op, prec, exp_bits,
+            getattr(interp, "kernel_tier", "auto"),
+            getattr(interp, "tier_stats", None))
+        self[key] = kernel
         return kernel
 
 
@@ -160,8 +169,8 @@ class _BatchKernelMap(dict):
 
     def __missing__(self, key):
         prec, exp_bits = key
-        kernel = batch_kernel_factory(self.op, prec, RNDN,
-                                      exp_bits)(self.ctx)
+        kernel = select_batch_kernel(self.op, prec, RNDN, exp_bits,
+                                     self.ctx)
         self[key] = kernel
         return kernel
 
@@ -228,11 +237,14 @@ class JitRuntime:
             raise KeyError(f"no runtime builtin {name!r}")
         return handler
 
-    def kernel(self, opcode: str, prec: int):
-        return specialized_kernel(_VP_OPS[opcode], prec, RNDN)
+    def kernel(self, opcode: str, prec: int, exp_bits=None):
+        return select_scalar_kernel(
+            _VP_OPS[opcode], prec, exp_bits,
+            getattr(self.interp, "kernel_tier", "auto"),
+            getattr(self.interp, "tier_stats", None))
 
     def mpfr_kernels(self, op: str) -> _KernelMap:
-        return _KernelMap(op)
+        return _KernelMap(op, self.interp)
 
     def _resolve(self, v):
         interp = self.interp
@@ -363,7 +375,7 @@ class FunctionEmitter:
         self._inst_refs: Dict[int, str] = {}
         self._fn_refs: Dict[str, str] = {}
         self._builtin_refs: Dict[str, str] = {}
-        self._kernel_refs: Dict[Tuple[str, int], str] = {}
+        self._kernel_refs: Dict[Tuple[str, int, Optional[int]], str] = {}
         self._mpfr_map_refs: Dict[str, str] = {}
         self._default_refs: Dict[int, str] = {}
         # Current block accumulators.  Charges are bulk-counted per
@@ -471,12 +483,15 @@ class FunctionEmitter:
             self.prelude.append(f"{name} = R.builtin({bname!r})")
         return name
 
-    def _kernel_ref(self, opcode: str, prec: int) -> str:
-        name = self._kernel_refs.get((opcode, prec))
+    def _kernel_ref(self, opcode: str, prec: int,
+                    exp_bits: Optional[int] = None) -> str:
+        key = (opcode, prec, exp_bits)
+        name = self._kernel_refs.get(key)
         if name is None:
             name = f"_k{len(self._kernel_refs)}"
-            self._kernel_refs[(opcode, prec)] = name
-            self.prelude.append(f"{name} = R.kernel({opcode!r}, {prec})")
+            self._kernel_refs[key] = name
+            self.prelude.append(
+                f"{name} = R.kernel({opcode!r}, {prec}, {exp_bits})")
         return name
 
     def _mpfr_map_ref(self, op: str) -> str:
@@ -778,22 +793,16 @@ class FunctionEmitter:
         if not self._vp_static_ok(vptype):
             raise _Unsupported("dynamic vpfloat attributes")
         prec = self.interp.vp_config(vptype, None)[0]
-        kernel = self._kernel_ref(op, prec)
         self._charge("vpfloat_native", "f64_other", max(1, prec // 64))
         self._vp_telemetry(op, prec, 0)
         if vptype.format == "mpfr":
-            limit = 1 << (vptype.exp_attr.value - 1)
-            out.append(f"_x = {kernel}(_AB({a}, {prec}), _AB({b}, {prec}))")
-            out.append("if _x.kind is _FIN:")
-            out.append(f"    _e = _x.exp + {prec}")
-            out.append(f"    if _e > {limit}:")
-            out.append(f"        _x = _BF.inf({prec}, _x.sign)")
-            out.append(f"    elif _e < -{limit}:")
-            out.append(f"        _x = _BF.zero({prec}, _x.sign)")
-            out.append(f"{name} = _x")
+            # The destination format's exponent-range clamp is folded
+            # into the kernel (all tiers); no per-op clamp block.
+            kernel = self._kernel_ref(op, prec, vptype.exp_attr.value)
         else:  # unum: exact intermediate, no per-op re-encoding
-            out.append(f"{name} = {kernel}(_AB({a}, {prec}), "
-                       f"_AB({b}, {prec}))")
+            kernel = self._kernel_ref(op, prec)
+        out.append(f"{name} = {kernel}(_AB({a}, {prec}), "
+                   f"_AB({b}, {prec}))")
 
     def _emit_float_binary(self, inst: BinaryInst, a, b, out) -> None:
         name = self.names[id(inst)]
@@ -1115,15 +1124,6 @@ class FunctionEmitter:
         out.append("    if _MET:")
         out.append('        _obs("precision.mpfr.bits", _p)')
 
-    def _emit_clamp(self, out) -> None:
-        out.append("    if _x.exp_bits is not None and _v.kind is _FIN:")
-        out.append("        _lim = 1 << (_x.exp_bits - 1)")
-        out.append("        _e = _v.exp + _p")
-        out.append("        if _e > _lim:")
-        out.append("            _x.value = _BF.inf(_p, _v.sign)")
-        out.append("        elif _e < -_lim:")
-        out.append("            _x.value = _BF.zero(_p, _v.sign)")
-
     def _emit_mpfr_builtin(self, inst, bname, args, bi, ii, out) -> None:
         name = self.names[id(inst)]
         handler = self._builtin_ref(bname)
@@ -1141,15 +1141,10 @@ class FunctionEmitter:
             out.append(delegate)
             out.append("else:")
             out.append("    _p = _x.prec")
-            if self.batch:
-                # Fused N-lane kernel with the exponent-range clamp
-                # folded into the lane store; no per-call clamp block.
-                out.append(f"    _x.value = {kmap}[_p, _x.exp_bits]"
-                           "(_y.value, _z.value)")
-            else:
-                out.append(f"    _v = {kmap}[_p](_y.value, _z.value)")
-                out.append("    _x.value = _v")
-                self._emit_clamp(out)
+            # Fused kernel with the destination handle's exponent-range
+            # clamp folded in (scalar and batch); no per-call clamp.
+            out.append(f"    _x.value = {kmap}[_p, _x.exp_bits]"
+                       "(_y.value, _z.value)")
             out.append("    _mstats.ops += 1")
             out.append(f"    _mbump({bname!r})")
             self._emit_touch(out, ["_y", "_z"], "_x")
@@ -1167,14 +1162,8 @@ class FunctionEmitter:
             out.append(delegate)
             out.append("else:")
             out.append("    _p = _x.prec")
-            if self.batch:
-                out.append(f"    _x.value = {kmap}[_p, _x.exp_bits]"
-                           "(_y.value, _z.value, _w.value)")
-            else:
-                out.append(f"    _v = {kmap}[_p](_y.value, _z.value, "
-                           "_w.value)")
-                out.append("    _x.value = _v")
-                self._emit_clamp(out)
+            out.append(f"    _x.value = {kmap}[_p, _x.exp_bits]"
+                       "(_y.value, _z.value, _w.value)")
             out.append("    _mstats.ops += 1")
             out.append(f"    _mbump({bname!r})")
             self._emit_touch(out, ["_y", "_z", "_w"], "_x")

@@ -31,6 +31,7 @@ from ..observability import (
     absorb_pass_timings,
     absorb_profile,
     absorb_report,
+    absorb_tier_stats,
     absorb_unum_stats,
     current_ledger,
     current_metrics,
@@ -115,6 +116,9 @@ class CompiledProgram:
         #: Engine the driver was configured for; ``run()`` falls back
         #: to it when neither ``engine`` nor ``dispatch`` is passed.
         self._default_engine: Optional[str] = None
+        #: Kernel-tier policy the driver was configured for
+        #: (auto/generic/small); per-run ``kernel_tier=`` overrides it.
+        self._kernel_tier: str = "auto"
 
     def __getstate__(self):
         # The codegen store holds a live CompileCache reference; the
@@ -137,6 +141,18 @@ class CompiledProgram:
         if mode is None:
             return resolve_engine(None, self.options.backend)
         return mode
+
+    def _resolve_tier(self, kernel_tier: Optional[str]) -> str:
+        """Per-run override wins; None falls back to the driver's
+        policy (auto when the program never saw a driver)."""
+        if kernel_tier is None:
+            return getattr(self, "_kernel_tier", "auto")
+        from ..codegen.smallfloat import KERNEL_TIER_POLICIES
+
+        if kernel_tier not in KERNEL_TIER_POLICIES:
+            raise ValueError(f"unknown kernel tier {kernel_tier!r}; "
+                             f"choose from {KERNEL_TIER_POLICIES}")
+        return kernel_tier
 
     def _codegen_store_for(self, mode: str):
         if mode != "jit":
@@ -180,7 +196,8 @@ class CompiledProgram:
             dispatch: Optional[str] = None,
             profile: bool = False,
             pool: Optional[bool] = None,
-            engine: Optional[str] = None) -> ExecutionResult:
+            engine: Optional[str] = None,
+            kernel_tier: Optional[str] = None) -> ExecutionResult:
         """Execute a function; returns value + CostReport + stdout.
 
         ``costs`` selects a CycleCosts profile (default: Xeon-calibrated;
@@ -191,7 +208,10 @@ class CompiledProgram:
         the specializing jit for mpfr, fused closures otherwise).
         ``profile``/``pool`` configure the interpreter's observability
         layer and MPFR object pool (``pool`` defaults per backend: on
-        except for Boost)."""
+        except for Boost).  ``kernel_tier`` overrides the driver's
+        kernel-tier policy for this run (auto/generic/small: the jit
+        engine's precision-specialized fast-path kernels vs the
+        generic ones; bit-identical either way)."""
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
         tracer = current_tracer()
@@ -228,11 +248,13 @@ class CompiledProgram:
                               **report_fields(report))
             return result
         mode = self._resolve_mode(dispatch, engine)
+        tier = self._resolve_tier(kernel_tier)
         interpreter = Interpreter(self.module, accounting=accounting,
                                   max_steps=max_steps, dispatch=mode,
                                   profile=profile,
                                   mpfr_pool=self._pool_default(pool),
-                                  codegen_store=self._codegen_store_for(mode))
+                                  codegen_store=self._codegen_store_for(mode),
+                                  kernel_tier=tier)
         try:
             result = interpreter.run(name, args)
         finally:
@@ -241,22 +263,30 @@ class CompiledProgram:
                 tracer.finish(span)
         result.interpreter = interpreter
         registry = current_metrics()
+        tier_stats = interpreter.tier_stats
         if registry is not None:
             absorb_report(registry, result.report)
             absorb_mpfr_stats(registry, interpreter.mpfr.stats)
             if result.profile is not None:
                 absorb_profile(registry, result.profile)
+            if tier_stats is not None and tier_stats.total_ops():
+                absorb_tier_stats(registry, tier_stats)
         if ledger is not None:
+            extra = {}
+            if tier_stats is not None and tier_stats.total_ops():
+                extra["kernel_tier"] = tier
+                extra["kernel_tiers"] = tier_stats.as_dict()
             ledger.record("run", function=name,
                           backend=self.options.backend, engine=mode,
                           wall_seconds=time.perf_counter() - wall0,
-                          **report_fields(result.report))
+                          **extra, **report_fields(result.report))
         return result
 
     def run_batch(self, name: str, args: Optional[List[object]] = None,
                   lanes: int = 1, cache: bool = True,
                   max_steps: int = 500_000_000, costs=None,
-                  pool: Optional[bool] = None):
+                  pool: Optional[bool] = None,
+                  kernel_tier: Optional[str] = None):
         """Execute a function across ``lanes`` independent instances
         with one IR dispatch per instruction (the batched jit engine).
 
@@ -290,10 +320,12 @@ class CompiledProgram:
                                  "lanes": lanes}) \
             if tracer is not None else None
         registry = current_metrics()
+        tier = self._resolve_tier(kernel_tier)
         interpreter = BatchInterpreter(
             self.module, lanes, accounting=accounting,
             max_steps=max_steps, mpfr_pool=self._pool_default(pool),
-            codegen_store=self._batch_codegen_store())
+            codegen_store=self._batch_codegen_store(),
+            kernel_tier=tier)
         try:
             try:
                 result = interpreter.run(name, args)
@@ -319,16 +351,26 @@ class CompiledProgram:
                 span.args["cycles"] = accounting.report.cycles
                 tracer.finish(span)
         values = [lane_view(result.value, i) for i in range(lanes)]
+        batch_ctx = interpreter.batch
+        np_counters = (batch_ctx.np_ops, batch_ctx.np_lanes,
+                       batch_ctx.np_bailouts)
         interpreter.batch.flush(registry)
         if registry is not None:
             absorb_report(registry, result.report)
             absorb_mpfr_stats(registry, interpreter.mpfr.stats)
         if ledger is not None:
+            extra = {}
+            if np_counters != (0, 0, 0):
+                extra["kernel_tier"] = tier
+                extra["kernel_tiers"] = {
+                    "batch_np": {"ops": np_counters[0],
+                                 "lanes": np_counters[1],
+                                 "bailouts": np_counters[2]}}
             ledger.record("batch_run", function=name,
                           backend=self.options.backend, engine="jit",
                           lanes=lanes, mode="batched",
                           wall_seconds=time.perf_counter() - wall0,
-                          **report_fields(result.report))
+                          **extra, **report_fields(result.report))
         return BatchResult(lanes=lanes, values=values,
                            reports=[result.report] * lanes,
                            stdout=result.stdout, mode="batched",
@@ -360,7 +402,8 @@ class CompiledProgram:
                     max_steps: int = 500_000_000, costs=None,
                     dispatch: Optional[str] = None, profile: bool = False,
                     pool: Optional[bool] = None,
-                    engine: Optional[str] = None) -> Interpreter:
+                    engine: Optional[str] = None,
+                    kernel_tier: Optional[str] = None) -> Interpreter:
         """A fresh interpreter over the compiled module (mpfr/boost/none)."""
         accounting = CostAccounting(costs=costs,
                                     cache=CacheModel() if cache else None)
@@ -369,7 +412,8 @@ class CompiledProgram:
                            max_steps=max_steps, dispatch=mode,
                            profile=profile,
                            mpfr_pool=self._pool_default(pool),
-                           codegen_store=self._codegen_store_for(mode))
+                           codegen_store=self._codegen_store_for(mode),
+                           kernel_tier=self._resolve_tier(kernel_tier))
 
     def machine(self, cache: bool = True, coprocessor=None,
                 max_steps: int = 500_000_000, costs=None):
@@ -394,7 +438,8 @@ class CompilerDriver:
     """
 
     def __init__(self, backend: str = "mpfr", opt_level: int = 3,
-                 polly: bool = False, cache=None, engine=None, **kwargs):
+                 polly: bool = False, cache=None, engine=None,
+                 kernel_tier: str = "auto", **kwargs):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"choose from {BACKENDS}")
@@ -405,6 +450,16 @@ class CompilerDriver:
         #: cache fingerprint (not a CompileOptions field: it changes
         #: nothing about the IR, only how it is executed).
         self.engine = resolve_engine(engine, backend)
+        #: Kernel-tier policy (auto/generic/small) the programs' runs
+        #: default to; like ``engine`` it is an execution knob, hashed
+        #: into the fingerprint because the jit sidecar's emitted code
+        #: binds kernels at emission time.
+        from ..codegen.smallfloat import KERNEL_TIER_POLICIES
+
+        if kernel_tier not in KERNEL_TIER_POLICIES:
+            raise ValueError(f"unknown kernel tier {kernel_tier!r}; "
+                             f"choose from {KERNEL_TIER_POLICIES}")
+        self.kernel_tier = kernel_tier
 
     def compile(self, source: str, name: str = "module") -> CompiledProgram:
         ledger = current_ledger()
@@ -444,9 +499,11 @@ class CompilerDriver:
                                    "cached": False}):
                 return self._finish(self._compile(source, name))
         key = cache.fingerprint(source, self.options, name,
-                                engine=self.engine)
+                                engine=self.engine,
+                                kernel_tier=self.kernel_tier)
         batch_key = cache.fingerprint(source, self.options, name,
-                                      engine=self.engine, batch=True)
+                                      engine=self.engine, batch=True,
+                                      kernel_tier=self.kernel_tier)
         info["key"] = key
         if tracer is None:
             program = cache.get(key)
@@ -481,6 +538,7 @@ class CompilerDriver:
         the emitted-source stores (serial + batched, separately keyed)
         persisting next to the pickle."""
         program._default_engine = self.engine
+        program._kernel_tier = self.kernel_tier
         if self.engine == "jit" and key is not None:
             from ..codegen.pyjit import CodegenStore
 

@@ -351,6 +351,24 @@ def _validate_batch_run(program, spec, outcome: RunOutcome,
                 lane=i)
         candidates.append((f"batch{batch_result.lanes}.lane{i}",
                            strictness, values, batch_result.reports[i]))
+    if batch_result.mode == "batched":
+        # generic↔specialized, batched: rerun the batch with the
+        # fast-path kernel tier forced off; every lane must still match
+        # the serial reference bit-for-bit.
+        tier_strictness = TRANSITIONS["generic↔specialized"]
+        generic = program.run_batch("run", [outcome.n],
+                                    lanes=batch_result.lanes,
+                                    cache=cache, max_steps=max_steps,
+                                    costs=costs, kernel_tier="generic")
+        for i in range(generic.lanes):
+            values = [generic.values[i]]
+            if read_outputs and generic.interpreter is not None:
+                values += _read_interpreter_outputs(
+                    generic.interpreter, int(generic.values[i]),
+                    spec.outputs(outcome.n), outcome.ftype,
+                    outcome.backend, lane=i)
+            candidates.append((f"tier.generic.lane{i}", tier_strictness,
+                               values, generic.reports[i]))
     return certificate_for_outcomes(
         subject=f"{outcome.kernel}-{outcome.backend}",
         reference_label="engine.jit.serial",
@@ -369,7 +387,7 @@ def _validate_run(program, spec, outcome: RunOutcome,
     """Cross-run the other engines (and the pool toggle) against the
     primary outcome and assemble its certificate (strict)."""
     from ..core import ENGINES, resolve_engine
-    from ..validation import certificate_for_outcomes
+    from ..validation import TRANSITIONS, certificate_for_outcomes
 
     backend = outcome.backend
     reference_engine = resolve_engine(engine, backend)
@@ -378,10 +396,11 @@ def _validate_run(program, spec, outcome: RunOutcome,
     # witness only when the primary run extracted them.
     read_outputs = bool(outcome.outputs)
 
-    def observe(run_engine, run_pool):
+    def observe(run_engine, run_pool, run_tier=None):
         result = program.run("run", [outcome.n], cache=cache,
                              max_steps=max_steps, costs=costs,
-                             engine=run_engine, pool=run_pool)
+                             engine=run_engine, pool=run_pool,
+                             kernel_tier=run_tier)
         values = [result.value]
         if read_outputs:
             values += _read_interpreter_outputs(
@@ -399,6 +418,13 @@ def _validate_run(program, spec, outcome: RunOutcome,
     if backend != "boost":
         values, report = observe(reference_engine, False)
         candidates.append(("pool.off", "traffic", values, report))
+    if reference_engine == "jit":
+        # generic↔specialized: the jit engine with the fast-path kernel
+        # tier forced off must reproduce the reference bit-for-bit.
+        values, report = observe("jit", None, run_tier="generic")
+        candidates.append(("tier.generic",
+                           TRANSITIONS["generic↔specialized"],
+                           values, report))
     return certificate_for_outcomes(
         subject=f"{outcome.kernel}-{backend}",
         reference_label=f"engine.{reference_engine}",

@@ -37,6 +37,7 @@ from .ledger import (
     LedgerError,
     RunLedger,
     compare_ledgers,
+    bench_floor_scale,
     current_ledger,
     install_ledger,
     ledger_session,
@@ -52,6 +53,7 @@ from .metrics import (
     absorb_pass_timings,
     absorb_profile,
     absorb_report,
+    absorb_tier_stats,
     absorb_unum_stats,
 )
 from .tracer import (
@@ -71,7 +73,9 @@ __all__ = [
     "CAT_VALIDATE", "CAT_WORKER", "LEDGER_SCHEMA_VERSION",
     "LedgerError", "MetricsRegistry", "RunLedger", "Span", "Tracer",
     "absorb_cache_stats", "absorb_mpfr_stats", "absorb_pass_timings",
-    "absorb_profile", "absorb_report", "absorb_unum_stats",
+    "absorb_profile", "absorb_report", "absorb_tier_stats",
+    "bench_floor_scale",
+    "absorb_unum_stats",
     "compare_ledgers", "current_ledger", "current_metrics",
     "current_tracer", "enable_telemetry", "install_ledger",
     "install_telemetry", "ledger_session", "read_ledger",

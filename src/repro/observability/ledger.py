@@ -87,6 +87,23 @@ def _git_revision() -> Optional[str]:
     return _GIT_REV
 
 
+def bench_floor_scale() -> float:
+    """``$VPFLOAT_BENCH_FLOOR_SCALE`` as a float (default 1.0).
+
+    The perf benches multiply their speedup floors by this, so loaded
+    or throttled CI runners can relax the gates (e.g. ``0.5``) without
+    editing the floors out of the benches; an unset or malformed value
+    leaves the floors untouched."""
+    raw = os.environ.get("VPFLOAT_BENCH_FLOOR_SCALE")
+    if not raw:
+        return 1.0
+    try:
+        scale = float(raw)
+    except ValueError:
+        return 1.0
+    return scale if scale > 0 else 1.0
+
+
 def reproducibility_envelope() -> dict:
     """Who/what/where metadata stamped into ledgers and bench JSON.
 

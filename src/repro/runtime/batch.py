@@ -58,6 +58,8 @@ __all__ = [
 #: Kind <-> uint8 codes for the numpy SoA interchange.
 _KIND_CODES = {Kind.FINITE: 0, Kind.ZERO: 1, Kind.INF: 2, Kind.NAN: 3}
 _CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+#: Code -> Kind lookup list for materializing array-backed lane lists.
+_U64_KINDS = [Kind.FINITE, Kind.ZERO, Kind.INF, Kind.NAN]
 
 
 class BatchDivergence(RuntimeError):
@@ -88,20 +90,78 @@ class VPBatch:
     shared.  Treated as immutable: every operation builds fresh lane
     lists, so batches may be shared freely (broadcast NaN templates,
     stored global cells).
+
+    The lane lists are *lazy*: the single-limb numpy kernel tier
+    (:mod:`repro.codegen.batch_np_kernels`) builds batches directly
+    from uint64 result arrays (``_from_u64``) and caches the array
+    form of operand batches in ``_u64``, so chained vectorized ops
+    (a gemm accumulator flowing op to op) never convert to lists and
+    back.  Reading a lane attribute materializes the lists on demand;
+    every existing consumer -- the generic fused-loop kernels, lane
+    extraction, comparisons -- sees the class it always saw.
     """
 
-    __slots__ = ("kind", "sign", "mant", "exp", "prec")
+    __slots__ = ("_kind", "_sign", "_mant", "_exp", "prec", "_u64")
 
     def __init__(self, kind: list, sign: list, mant: list, exp: list,
                  prec: int):
-        self.kind = kind
-        self.sign = sign
-        self.mant = mant
-        self.exp = exp
+        self._kind = kind
+        self._sign = sign
+        self._mant = mant
+        self._exp = exp
         self.prec = prec
+        self._u64 = None
+
+    @classmethod
+    def _from_u64(cls, u64, prec: int) -> "VPBatch":
+        """Array-backed batch: ``u64`` is the numpy-tier lane tuple
+        (kind codes uint8, sign uint8, mant uint64, exp int64, simple
+        flag); the lane lists materialize only if someone asks."""
+        batch = cls.__new__(cls)
+        batch._kind = None
+        batch._sign = None
+        batch._mant = None
+        batch._exp = None
+        batch.prec = prec
+        batch._u64 = u64
+        return batch
+
+    def _materialize(self) -> None:
+        codes, sign, mant, exp = self._u64[:4]
+        kinds = _U64_KINDS
+        self._kind = [kinds[c] for c in codes.tolist()]
+        self._sign = sign.tolist()
+        self._mant = mant.tolist()
+        self._exp = exp.tolist()
+
+    @property
+    def kind(self) -> list:
+        if self._kind is None:
+            self._materialize()
+        return self._kind
+
+    @property
+    def sign(self) -> list:
+        if self._sign is None:
+            self._materialize()
+        return self._sign
+
+    @property
+    def mant(self) -> list:
+        if self._mant is None:
+            self._materialize()
+        return self._mant
+
+    @property
+    def exp(self) -> list:
+        if self._exp is None:
+            self._materialize()
+        return self._exp
 
     def __len__(self) -> int:
-        return len(self.kind)
+        if self._kind is not None:
+            return len(self._kind)
+        return len(self._u64[0])
 
     # -------------------------------------------------------- #
     # Construction / extraction
@@ -220,9 +280,10 @@ class BatchContext:
 
     __slots__ = ("lanes", "ops", "fast_lanes", "scalar_fallbacks",
                  "occupancy", "divergences", "serial_fallback_lanes",
+                 "kernel_tier", "np_ops", "np_lanes", "np_bailouts",
                  "_nan_cache")
 
-    def __init__(self, lanes: int):
+    def __init__(self, lanes: int, kernel_tier: str = "auto"):
         if lanes < 1:
             raise ValueError(f"batch needs >= 1 lane, got {lanes}")
         self.lanes = lanes
@@ -232,6 +293,13 @@ class BatchContext:
         self.occupancy: Dict[int, int] = {}
         self.divergences = 0
         self.serial_fallback_lanes = 0
+        #: Kernel-tier policy ("auto"/"small" allow the numpy tier,
+        #: "generic" forces the fused-loop kernels) and the numpy-tier
+        #: counters (ops/lanes served, per-call eligibility bailouts).
+        self.kernel_tier = kernel_tier
+        self.np_ops = 0
+        self.np_lanes = 0
+        self.np_bailouts = 0
         self._nan_cache: Dict[int, VPBatch] = {}
 
     def note(self, n: int, slow: int) -> None:
@@ -267,6 +335,12 @@ class BatchContext:
         if self.serial_fallback_lanes:
             registry.inc("batch.serial_fallback_lanes",
                          self.serial_fallback_lanes)
+        if self.np_ops:
+            registry.inc("kernel.tier.batch_np.ops", self.np_ops)
+            registry.inc("kernel.tier.batch_np.lanes", self.np_lanes)
+        if self.np_bailouts:
+            registry.inc("kernel.tier.batch_np.bailouts",
+                         self.np_bailouts)
         registry.observe("batch.size", self.lanes)
         for occ, count in self.occupancy.items():
             registry.observe("batch.occupancy", occ, count)
@@ -310,8 +384,9 @@ class BatchMpfrLibrary(MpfrLibrary):
         key = (op, prec, rm, exp_bits)
         kernel = self._kernels.get(key)
         if kernel is None:
-            from ..codegen.batch_kernels import batch_kernel_factory
-            kernel = batch_kernel_factory(op, prec, rm, exp_bits)(self.ctx)
+            from ..codegen.batch_kernels import select_batch_kernel
+            kernel = select_batch_kernel(op, prec, rm, exp_bits,
+                                         self.ctx)
             self._kernels[key] = kernel
         return kernel
 
@@ -514,8 +589,9 @@ class BatchInterpreter(Interpreter):
 
     def __init__(self, module, lanes: int, accounting=None,
                  max_steps: int = 500_000_000, mpfr_pool: bool = False,
-                 pool_limit: int = 1024, codegen_store=None):
-        ctx = BatchContext(lanes)
+                 pool_limit: int = 1024, codegen_store=None,
+                 kernel_tier: str = "auto"):
+        ctx = BatchContext(lanes, kernel_tier=kernel_tier)
         self.batch = ctx
         super().__init__(
             module,
@@ -528,6 +604,7 @@ class BatchInterpreter(Interpreter):
             mpfr_pool=mpfr_pool,
             pool_limit=pool_limit,
             codegen_store=codegen_store,
+            kernel_tier=kernel_tier,
         )
         self._install_batch_builtins()
 

@@ -71,6 +71,7 @@ from ..ir.types import _validate_mpfr_attrs
 from ..observability import (
     CAT_POOL,
     CAT_RUNTIME,
+    current_ledger,
     current_metrics,
     current_tracer,
 )
@@ -168,7 +169,8 @@ class Interpreter:
                  profile: bool = False,
                  mpfr_pool: bool = False,
                  pool_limit: int = 1024,
-                 codegen_store=None):
+                 codegen_store=None,
+                 kernel_tier: str = "auto"):
         if dispatch not in ("jit", "fast", "unfused", "legacy"):
             raise ValueError(f"unknown dispatch mode {dispatch!r}")
         self.module = module
@@ -186,6 +188,18 @@ class Interpreter:
         #: are None unless repro.observability.enable_telemetry ran.
         self.tracer = current_tracer()
         self.metrics = current_metrics()
+        #: Kernel-tier policy (auto/generic/small) for the jit engine's
+        #: precision-specialized kernels; read by pyjit at bind time.
+        self.kernel_tier = kernel_tier
+        #: Per-tier op/site/fallback accounting -- only constructed when
+        #: some observer (metrics registry or run ledger) will consume
+        #: it, so unobserved runs bind the raw kernels with zero
+        #: per-call overhead.
+        self.tier_stats = None
+        if self.metrics is not None or current_ledger() is not None:
+            from ..codegen.smallfloat import TierStats
+
+            self.tier_stats = TierStats()
         self.stdout: List[str] = []
         self.globals: Dict[str, int] = {}
         self._builtins: Dict[str, Callable] = {}

@@ -1,0 +1,360 @@
+"""Tests for the precision-specialized kernel tier.
+
+Four layers, matching the feature's own structure:
+
+* the *inlined rounding blocks* the smallfloat emitter folds into its
+  kernels must match :func:`round_significand` bit-for-bit across all
+  five rounding modes, both signs, and the sticky/exact boundaries at
+  precisions 1..128 (hypothesis, with the tie/exact edges enumerated);
+* the *compiled tiered kernels* must be bit-identical to the
+  ``arith.<op>`` library on finite, special, and mixed-precision
+  operands (the latter exercising the fallback hooks);
+* the *selection and plumbing*: policy validation on the driver and
+  per-run overrides, fingerprint separation, TierStats accounting,
+  metrics counters, the batched numpy tier's "small"-policy lane-floor
+  waiver, and the service run-option whitelist;
+* a *pinned-seed lockstep* sweep of the differential fuzzer's
+  tier stage, the same corpus shape CI replays.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat.arith import add as lib_add
+from repro.bigfloat.number import BigFloat, Kind
+from repro.bigfloat.rounding import (
+    RNDA,
+    RNDD,
+    RNDN,
+    RNDU,
+    RNDZ,
+    round_significand,
+)
+from repro.codegen.batch_np_kernels import NP_MIN_LANES, _min_lanes
+from repro.codegen.smallfloat import (
+    KERNEL_TIER_POLICIES,
+    SMALLFLOAT_MAX_PREC,
+    TierStats,
+    _exact_round_lines,
+    _window_round_lines,
+    kernel_tier,
+    select_scalar_kernel,
+    smallfloat_kernel,
+    smallfloat_source,
+    tier_label,
+)
+from repro.codegen.smallfloat import _LIBRARY as SCALAR_LIBRARY
+from repro.core import CompileCache, CompilerDriver, CompileOptions
+from repro.runtime.batch import BatchContext
+from repro.validation.certificate import TRANSITIONS, value_token
+
+ALL_MODES = (RNDN, RNDZ, RNDU, RNDD, RNDA)
+
+SOURCE = """
+vpfloat<mpfr, 16, 53> out;
+int run(int n) {
+    vpfloat<mpfr, 16, 53> acc = 0.0;
+    vpfloat<mpfr, 16, 53> step = 1.25;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + step * step; }
+    out = acc;
+    return n;
+}
+"""
+
+
+# ----------------------------------------------------------------- #
+# Inlined rounding blocks vs round_significand
+# ----------------------------------------------------------------- #
+
+def _compile_rounder(lines, params):
+    source = "\n".join([f"def _f({params}):"] + lines
+                       + ["    return _q, _e"])
+    namespace = {}
+    exec(source, namespace)
+    return namespace["_f"]
+
+
+def exact_rounder(prec, rm):
+    """The emitter's exact-operand rounding block as a function of
+    ``(_s, _m, _e) -> (_q, _e)``."""
+    return _compile_rounder(_exact_round_lines(prec, rm, "    "),
+                            "_s, _m, _e")
+
+
+def window_rounder(prec, rm):
+    """The emitter's sticky-window rounding block as a function of
+    ``(_s, _t, _e, _st) -> (_q, _e)``."""
+    return _compile_rounder(_window_round_lines(prec, rm, "    "),
+                            "_s, _t, _e, _st")
+
+
+@st.composite
+def rounding_cases(draw, sticky_window=False):
+    """(prec, rm, sign, mant, exp[, sticky]) with the discarded-bits
+    boundaries (exact, just-below-half, half, just-above, all-ones)
+    explicitly enumerated alongside fully random windows."""
+    prec = draw(st.integers(1, SMALLFLOAT_MAX_PREC))
+    rm = draw(st.sampled_from(ALL_MODES))
+    sign = draw(st.integers(0, 1))
+    exp = draw(st.integers(-2000, 2000))
+    min_shift = 1 if sticky_window else 0
+    shift = draw(st.integers(min_shift, 80))
+    quotient = draw(st.integers(1 << (prec - 1), (1 << prec) - 1)) \
+        if prec > 1 else 1
+    if shift == 0:
+        low = 0
+    else:
+        half = 1 << (shift - 1)
+        mask = (1 << shift) - 1
+        low = draw(st.one_of(
+            st.sampled_from(sorted({0, max(half - 1, 0), half,
+                                    min(half + 1, mask), mask})),
+            st.integers(0, mask)))
+    mant = (quotient << shift) | low
+    if not sticky_window:
+        return prec, rm, sign, mant, exp
+    return prec, rm, sign, mant, exp, draw(st.booleans())
+
+
+@settings(max_examples=400, deadline=None)
+@given(rounding_cases())
+def test_exact_round_block_matches_round_significand(case):
+    prec, rm, sign, mant, exp, = case
+    got = exact_rounder(prec, rm)(sign, mant, exp)
+    want = round_significand(sign, mant, exp, prec, rm)[:2]
+    assert got == want, (prec, rm, sign, mant, exp)
+
+
+@settings(max_examples=400, deadline=None)
+@given(rounding_cases(sticky_window=True))
+def test_window_round_block_matches_round_significand(case):
+    prec, rm, sign, mant, exp, sticky = case
+    got = window_rounder(prec, rm)(sign, mant, exp, sticky)
+    want = round_significand(sign, mant, exp, prec, rm,
+                             sticky=sticky)[:2]
+    assert got == want, (prec, rm, sign, mant, exp, sticky)
+
+
+def test_exact_round_block_cancellation_widens():
+    # Fewer bits than prec (post-cancellation shape): widen, no round.
+    for rm in ALL_MODES:
+        assert exact_rounder(8, rm)(0, 0b101, 3) \
+            == round_significand(0, 0b101, 3, 8, rm)[:2]
+
+
+# ----------------------------------------------------------------- #
+# Compiled tiered kernels vs the arith library
+# ----------------------------------------------------------------- #
+
+def _finite(draw, prec):
+    sign = draw(st.integers(0, 1))
+    mant = draw(st.integers(1 << (prec - 1), (1 << prec) - 1)) \
+        if prec > 1 else 1
+    exp = draw(st.integers(-300, 300))
+    return BigFloat(Kind.FINITE, sign, mant, exp, prec)
+
+
+@st.composite
+def operand(draw, prec):
+    kind = draw(st.sampled_from(["finite", "finite", "finite",
+                                 "zero", "inf", "nan"]))
+    if kind == "finite":
+        return _finite(draw, prec)
+    if kind == "zero":
+        return BigFloat.zero(prec, draw(st.integers(0, 1)))
+    if kind == "inf":
+        return BigFloat.inf(prec, draw(st.integers(0, 1)))
+    return BigFloat.nan(prec)
+
+
+@st.composite
+def kernel_cases(draw):
+    prec = draw(st.sampled_from((1, 2, 7, 24, 53, 63, 64,
+                                 65, 100, 127, 128)))
+    op = draw(st.sampled_from(("add", "sub", "mul", "div",
+                               "fma", "fms", "sqrt")))
+    rm = draw(st.sampled_from(ALL_MODES))
+    arity = 1 if op == "sqrt" else (3 if op in ("fma", "fms") else 2)
+    args = tuple(draw(operand(prec)) for _ in range(arity))
+    return op, prec, rm, args
+
+
+@settings(max_examples=300, deadline=None)
+@given(kernel_cases())
+def test_tiered_kernels_match_library(case):
+    op, prec, rm, args = case
+    got = smallfloat_kernel(op, prec, rm)(*args)
+    want = SCALAR_LIBRARY[op](*args, prec, rm)
+    assert value_token(got) == value_token(want), (op, prec, rm, args)
+
+
+@settings(max_examples=150, deadline=None)
+@given(kernel_cases())
+def test_tiered_kernels_match_library_with_clamp(case):
+    op, prec, rm, args = case
+    from repro.codegen.kernels import specialized_kernel
+    got = smallfloat_kernel(op, prec, rm, exp_bits=8)(*args)
+    want = specialized_kernel(op, prec, rm, exp_bits=8)(*args)
+    assert value_token(got) == value_token(want), (op, prec, rm, args)
+
+
+def test_mixed_precision_falls_back_with_note():
+    notes_stats = TierStats()
+    kernel = smallfloat_kernel("add", 24, RNDN,
+                               notes=notes_stats.notes())
+    a = BigFloat.from_float(1.5, 24)
+    b = BigFloat.from_float(2.5, 53)  # operand precision mismatch
+    got = kernel(a, b)
+    assert value_token(got) == value_token(lib_add(a, b, 24, RNDN))
+    assert notes_stats.fallbacks["prec"] == 1
+    assert notes_stats.fallbacks["special"] == 0
+
+
+def test_special_operand_falls_back_with_note():
+    notes_stats = TierStats()
+    kernel = smallfloat_kernel("add", 24, RNDN,
+                               notes=notes_stats.notes())
+    kernel(BigFloat.nan(24), BigFloat.from_float(1.0, 24))
+    assert notes_stats.fallbacks["special"] == 1
+
+
+def test_tier_boundaries():
+    assert kernel_tier(1) == 1
+    assert kernel_tier(64) == 1
+    assert kernel_tier(65) == 2
+    assert kernel_tier(128) == 2
+    assert kernel_tier(129) == 0
+    assert tier_label(24) == "tier1"
+    assert tier_label(100) == "tier2"
+    assert tier_label(256) == "generic"
+    with pytest.raises(ValueError):
+        smallfloat_source("add", 129)
+    with pytest.raises(ValueError):
+        smallfloat_source("bogus", 24)
+
+
+# ----------------------------------------------------------------- #
+# Selection, plumbing, and telemetry
+# ----------------------------------------------------------------- #
+
+def test_select_scalar_kernel_policies():
+    stats = TierStats()
+    select_scalar_kernel("add", 24, None, "auto", stats)
+    assert stats.sites["tier1"] == 1
+    select_scalar_kernel("add", 100, None, "small", stats)
+    assert stats.sites["tier2"] == 1
+    select_scalar_kernel("add", 24, None, "generic", stats)
+    assert stats.sites["generic"] == 1
+
+
+def test_counting_wrapper_and_merge():
+    stats = TierStats()
+    kernel = stats.counting(
+        "tier1", smallfloat_kernel("add", 24, RNDN))
+    a = BigFloat.from_float(1.0, 24)
+    kernel(a, a)
+    kernel(a, a)
+    assert stats.ops["tier1"] == 2
+    other = TierStats()
+    other.ops["generic"] = 3
+    stats.merge(other)
+    assert stats.total_ops() == 5
+    snap = stats.as_dict()
+    assert snap["ops"]["tier1"] == 2 and snap["ops"]["generic"] == 3
+
+
+def test_driver_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        CompilerDriver(backend="mpfr", kernel_tier="fast")
+
+
+def test_run_rejects_unknown_policy():
+    program = CompilerDriver(backend="mpfr").compile(SOURCE, name="k")
+    with pytest.raises(ValueError):
+        program.run("run", [4], kernel_tier="fast")
+
+
+def test_fingerprints_differ_by_tier():
+    options = CompileOptions(backend="mpfr")
+    prints = {CompileCache.fingerprint(SOURCE, options, name="k",
+                                       engine="jit", kernel_tier=tier)
+              for tier in KERNEL_TIER_POLICIES}
+    assert len(prints) == len(KERNEL_TIER_POLICIES)
+
+
+def test_per_run_override_is_bit_identical():
+    program = CompilerDriver(backend="mpfr", engine="jit").compile(
+        SOURCE, name="k")
+    assert program._kernel_tier == "auto"
+    runs = {tier: program.run("run", [40], kernel_tier=tier)
+            for tier in KERNEL_TIER_POLICIES}
+    tokens = {tier: value_token(r.value) for tier, r in runs.items()}
+    assert len(set(tokens.values())) == 1
+    cycles = {r.report.cycles for r in runs.values()}
+    assert len(cycles) == 1  # the tier is not a cost-model change
+
+
+def test_metrics_carry_tier_counters():
+    from repro.observability import telemetry_session
+    with telemetry_session(metrics=True) as (_, registry):
+        program = CompilerDriver(backend="mpfr", engine="jit").compile(
+            SOURCE, name="k")
+        program.run("run", [10])
+    tiered = {k: v for k, v in registry.counters.items()
+              if k.startswith("kernel.tier.")}
+    assert tiered.get("kernel.tier.tier1.ops", 0) > 0
+    assert tiered.get("kernel.tier.tier1.sites", 0) > 0
+
+
+def test_unobserved_runs_skip_tier_stats():
+    program = CompilerDriver(backend="mpfr", engine="jit").compile(
+        SOURCE, name="k")
+    interp = program.interpreter()
+    assert interp.tier_stats is None  # raw kernels, no counting
+
+
+def test_batch_np_small_policy_waives_lane_floor():
+    assert _min_lanes(BatchContext(lanes=4, kernel_tier="small")) == 1
+    assert _min_lanes(BatchContext(lanes=4)) == NP_MIN_LANES
+    assert _min_lanes(None) == NP_MIN_LANES
+
+
+def test_service_whitelists_kernel_tier():
+    from repro.service.protocol import RUN_OPTION_KEYS
+    assert "kernel_tier" in RUN_OPTION_KEYS
+
+
+def test_transition_table_has_tier_edge():
+    assert TRANSITIONS["generic↔specialized"] == "exact"
+
+
+def test_validate_tiers_certificate():
+    from repro.validation import validate_tiers
+    cert = validate_tiers(SOURCE, "run", [12], backend="mpfr",
+                          engine="jit", name="k", lanes=3)
+    assert cert.passed
+    assert cert.kind == "kernel-tier"
+    labels = {check.label for check in cert.checks}
+    assert "tier.generic" in labels
+    assert any(label.startswith("tier.generic.batch")
+               for label in labels)
+
+
+# ----------------------------------------------------------------- #
+# Pinned-seed fuzzer lockstep (the corpus CI replays)
+# ----------------------------------------------------------------- #
+
+PINNED_SEED = 20260809
+
+
+def test_fuzzer_tier_lockstep_pinned_corpus():
+    from repro.validation.fuzzer import cross_check_tiers, \
+        generate_program
+    rng = random.Random(PINNED_SEED)
+    for _ in range(5):
+        program = generate_program(rng, max_ops=8)
+        mismatch = cross_check_tiers(program)
+        assert mismatch is None, mismatch
